@@ -1,0 +1,31 @@
+"""Regenerate the extension experiments (sensitivity/robustness sweeps).
+
+Not paper figures — these probe whether the paper's conclusions are
+artifacts of its undisclosed constants.  See EXPERIMENTS.md "Beyond the
+paper".
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_alpha_sensitivity,
+    run_bandwidth_basis_sensitivity,
+    run_burstiness_robustness,
+    run_rack_scaling,
+)
+
+from conftest import run_figure
+
+
+@pytest.mark.parametrize(
+    "driver",
+    [
+        run_alpha_sensitivity,
+        run_bandwidth_basis_sensitivity,
+        run_burstiness_robustness,
+        run_rack_scaling,
+    ],
+    ids=["ext_alpha", "ext_basis", "ext_burst", "ext_scale"],
+)
+def test_extension(benchmark, quick, driver):
+    run_figure(benchmark, driver, quick)

@@ -1,0 +1,14 @@
+"""Regenerate Figure 5: inter-rack VM assignments on the synthetic trace.
+
+Paper values: NULB 255, NALB 255, RISA 7, RISA-BF 2 (out of 2500 VMs).
+Shape: baselines make far more inter-rack assignments than the RISA family;
+RISA-BF <= RISA.
+"""
+
+from repro.experiments import run_fig5
+
+from conftest import run_figure
+
+
+def test_fig5_interrack_synthetic(benchmark, quick):
+    run_figure(benchmark, run_fig5, quick)

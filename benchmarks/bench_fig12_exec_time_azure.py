@@ -1,0 +1,14 @@
+"""Regenerate Figure 12: scheduler execution time, Azure subsets.
+
+Paper (Azure-7500): NALB 15929 s, NULB 10361 s, RISA 3679 s, RISA-BF 4013 s
+— i.e. RISA 2.81x faster than NULB and 4.33x faster than NALB.  The asserted
+shape is the ordering on every subset.
+"""
+
+from repro.experiments import run_fig12
+
+from conftest import run_figure
+
+
+def test_fig12_exec_time_azure(benchmark, quick):
+    run_figure(benchmark, run_fig12, quick)

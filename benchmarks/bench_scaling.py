@@ -1,0 +1,49 @@
+"""Scaling study: the paper's Section 5.2 conjecture.
+
+"Since RISA and RISA-BF both out-perform NULB and NALB in terms of
+inter-rack VM allocations, we expect RISA and RISA-BF to have even larger
+improvements in CPU-RAM latency for larger systems."
+
+We sweep the cluster size (racks) with a proportionally scaled workload and
+verify RISA's latency stays pinned at 110 ns while NULB's does not improve.
+"""
+
+from repro.analysis import compare_schedulers
+from repro.config import scaled
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+from conftest import bench_quick
+
+RACK_COUNTS = (9, 18, 36)
+
+
+def run_scale(num_racks: int):
+    spec = scaled(num_racks)
+    count = 300 if bench_quick() else 1200
+    # Scale offered load with cluster size to hold utilization roughly fixed.
+    params = SyntheticWorkloadParams(
+        count=count * num_racks // 18 or count,
+        mean_interarrival=10.0 * 18 / num_racks,
+    )
+    vms = generate_synthetic(params, seed=0)
+    return compare_schedulers(spec, vms, ("nulb", "risa"), f"racks-{num_racks}")
+
+
+def test_scaling_latency_advantage(benchmark):
+    def sweep():
+        return {n: run_scale(n) for n in RACK_COUNTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for n, comparison in results.items():
+        latency = comparison.metric("avg_cpu_ram_latency_ns")
+        inter = comparison.metric("inter_rack_assignments")
+        print(
+            f"racks={n:3d}  nulb: lat={latency['nulb']:6.1f} ns "
+            f"inter={inter['nulb']:5d}   risa: lat={latency['risa']:6.1f} ns "
+            f"inter={inter['risa']:4d}"
+        )
+    for n, comparison in results.items():
+        latency = comparison.metric("avg_cpu_ram_latency_ns")
+        assert latency["risa"] <= latency["nulb"]
+        assert latency["risa"] <= 115.0  # pinned at the intra-rack RTT

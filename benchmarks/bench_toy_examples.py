@@ -1,0 +1,15 @@
+"""Regenerate Tables 3-4 (Section 4.3 toy examples)."""
+
+from repro.experiments import run_toy_example_1, run_toy_example_2
+
+from conftest import run_figure
+
+
+def test_toy_example_1(benchmark, quick):
+    """Toy example 1: NULB (2,1,2) vs RISA (2,2,2)."""
+    run_figure(benchmark, run_toy_example_1, quick)
+
+
+def test_toy_example_2(benchmark, quick):
+    """Toy example 2 / Table 4: first-fit vs best-fit packing."""
+    run_figure(benchmark, run_toy_example_2, quick)

@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Each ``bench_fig*`` file regenerates one paper figure at full workload size
+(the paper's 2500-VM synthetic trace and the 3000/5000/7500 Azure subsets)
+and asserts its shape checks.  Figure-regeneration benchmarks run exactly
+once per session (``rounds=1``) — the measured quantity is the end-to-end
+experiment wall time; the *output* is the regenerated figure, printed so
+``pytest benchmarks/ --benchmark-only -s`` shows the ASCII figures.
+
+Set ``REPRO_BENCH_QUICK=1`` to run the reduced workloads instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_quick() -> bool:
+    """Whether to run reduced-size workloads."""
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Session-wide quick-mode flag."""
+    return bench_quick()
+
+
+def run_figure(benchmark, driver, quick: bool):
+    """Benchmark one experiment driver once and validate its shape."""
+    result = benchmark.pedantic(
+        driver, kwargs={"quick": quick, "seed": 0}, rounds=1, iterations=1
+    )
+    assert result.shape_ok, result.report()
+    print()
+    print(result.report())
+    return result

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Modeling an admission queue in front of the scheduler with the DES API.
+
+The paper drops a VM the moment it cannot be placed.  Real control planes
+often *queue* requests briefly and retry — this example uses the library's
+general-purpose DES engine to bolt a retry loop with a patience deadline in
+front of RISA, without modifying the scheduler, and measures how many
+paper-dropped VMs a short patience window rescues.
+
+Run:  python examples/admission_queue.py
+"""
+
+from repro import paper_default
+from repro.network import NetworkFabric
+from repro.schedulers import create_scheduler
+from repro.sim import Environment
+from repro.topology import build_cluster
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic, resolve_all
+
+RETRY_INTERVAL = 50.0
+PATIENCE = 1200.0  # how long a request may wait before giving up
+
+
+def run(patience: float) -> tuple[int, int]:
+    """Returns (placed, abandoned) under a retry queue with ``patience``."""
+    spec = paper_default()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = create_scheduler("risa", spec, cluster, fabric)
+    # An overloaded trace: double the paper's arrival rate.
+    vms = generate_synthetic(
+        SyntheticWorkloadParams(count=2000, mean_interarrival=5.0), seed=0
+    )
+    requests = resolve_all(vms, spec)
+
+    env = Environment()
+    placed = 0
+    abandoned = 0
+
+    def vm_process(request):
+        nonlocal placed, abandoned
+        yield env.timeout(request.vm.arrival)
+        deadline = env.now + patience
+        while True:
+            placement = scheduler.schedule(request)
+            if placement is not None:
+                placed += 1
+                yield env.timeout(request.vm.lifetime)
+                scheduler.release(placement)
+                return
+            if patience == 0.0 or env.now + RETRY_INTERVAL > deadline:
+                abandoned += 1
+                return
+            yield env.timeout(RETRY_INTERVAL)
+
+    for request in requests:
+        env.process(vm_process(request))
+    env.run()
+    return placed, abandoned
+
+
+def main() -> None:
+    print(f"{'patience':>9s} {'placed':>7s} {'abandoned':>9s}")
+    for patience in (0.0, 300.0, PATIENCE):
+        placed, abandoned = run(patience)
+        print(f"{patience:9.0f} {placed:7d} {abandoned:9d}")
+    print(
+        "\nA modest retry window converts hard drops into delayed"
+        "\nplacements — an extension the paper leaves to future work,"
+        "\nbuilt here purely from the library's public DES primitives."
+    )
+
+
+if __name__ == "__main__":
+    main()

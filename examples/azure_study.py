@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Azure trace study: regenerate the paper's Figures 7-10 quantities.
+
+Synthesizes the three Azure-calibrated workloads (exact Figure 6 marginals),
+runs the four schedulers on each, and prints the per-subset inter-rack
+percentage, network utilization, optical power, and CPU-RAM latency — the
+full Section 5.2 evaluation.
+
+Run:  python examples/azure_study.py [--quick]
+"""
+
+import sys
+
+from repro import compare_schedulers, paper_default
+from repro.analysis import grouped_bars
+from repro.schedulers import PAPER_SCHEDULERS
+from repro.workloads import synthesize_azure
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    subsets = (3000,) if quick else (3000, 5000, 7500)
+    spec = paper_default()
+
+    metrics = {
+        "inter_rack_percent": ("%", "Inter-rack VM assignments (Fig 7)"),
+        "avg_intra_net_utilization": ("", "Intra-rack network utilization (Fig 8)"),
+        "avg_optical_power_kw": (" kW", "Optical component power (Fig 9)"),
+        "avg_cpu_ram_latency_ns": (" ns", "Average CPU-RAM RTT (Fig 10)"),
+    }
+    series = {m: {n: [] for n in PAPER_SCHEDULERS} for m in metrics}
+
+    for subset in subsets:
+        vms = synthesize_azure(subset, seed=0)
+        if quick:
+            vms = vms[:1000]
+        comparison = compare_schedulers(spec, vms, workload_name=f"azure-{subset}")
+        print(f"=== Azure-{subset} ===")
+        print(
+            comparison.table(
+                ["dropped_vms", "inter_rack_percent", "avg_cpu_ram_latency_ns",
+                 "avg_optical_power_kw", "scheduler_time_s"]
+            )
+        )
+        print()
+        for metric in metrics:
+            for name in PAPER_SCHEDULERS:
+                series[metric][name].append(
+                    getattr(comparison.summary(name), metric)
+                )
+
+    labels = [f"Azure-{s}" for s in subsets]
+    for metric, (unit, title) in metrics.items():
+        print(grouped_bars(labels, series[metric], unit=unit, title=title))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many racks does a workload need under each policy?
+
+Binary-searches the smallest cluster (in racks, keeping the paper's per-rack
+shape) on which a scheduler places a workload with zero drops.  Because RISA
+only uses intra-rack placements, its footprint answers "how many racks must
+each be able to host whole VMs"; NULB can split VMs across racks and may
+squeeze into fewer racks at the cost of inter-rack power/latency — this
+script quantifies that trade-off.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import scaled, simulate
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+def min_racks_without_drops(scheduler: str, vms, lo: int = 1, hi: int = 36) -> int:
+    """Smallest rack count in [lo, hi] with zero drops (hi on failure)."""
+    def ok(num_racks: int) -> bool:
+        result = simulate(scaled(num_racks), scheduler, vms)
+        return result.summary.dropped_vms == 0
+
+    if not ok(hi):
+        raise RuntimeError(f"{scheduler}: even {hi} racks drop VMs")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def main() -> None:
+    vms = generate_synthetic(SyntheticWorkloadParams(count=900), seed=0)
+    print(f"Workload: {len(vms)} synthetic VMs\n")
+    print(f"{'scheduler':10s} {'min racks':>9s} {'power @min (kW)':>16s} "
+          f"{'latency @min (ns)':>18s}")
+    for scheduler in ("nulb", "risa", "risa_bf"):
+        racks = min_racks_without_drops(scheduler, vms)
+        summary = simulate(scaled(racks), scheduler, vms).summary
+        print(
+            f"{scheduler:10s} {racks:9d} {summary.avg_optical_power_kw:16.3f} "
+            f"{summary.avg_cpu_ram_latency_ns:18.1f}"
+        )
+    print(
+        "\nReading: a smaller footprint bought with inter-rack splits costs "
+        "optical power and CPU-RAM latency — the paper's core trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Visualize placement behaviour: round-robin band vs first-fit frontier.
+
+Runs RISA and NULB to the same point in time on the same trace and prints
+the cluster occupancy heatmaps side by side: RISA's round-robin shows as a
+uniform shading band across racks, NULB's global first-fit as a filled
+prefix with a ragged frontier — the visual intuition behind Figures 5-10.
+
+Run:  python examples/placement_visualization.py
+"""
+
+from repro import paper_default
+from repro.analysis import placement_map, rack_balance
+from repro.analysis.fragmentation import fragmentation_summary
+from repro.sim import DDCSimulator
+from repro.types import ResourceType, ResourceVector
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+def main() -> None:
+    spec = paper_default()
+    vms = generate_synthetic(SyntheticWorkloadParams(count=1200), seed=0)
+    snapshot_time = sorted(vm.departure for vm in vms)[len(vms) // 2]
+
+    for name in ("risa", "nulb"):
+        sim = DDCSimulator(spec, name)
+        sim.run(vms, until=snapshot_time)
+        print(f"=== {name} at t={snapshot_time:.0f} ===")
+        print(placement_map(sim.cluster, per_box=False))
+        cv = rack_balance(sim.cluster, ResourceType.CPU)
+        print(f"rack-balance CV (CPU): {cv:.3f}  (0 = perfectly even)")
+        stranding = fragmentation_summary(
+            sim.cluster, ResourceVector(cpu=2, ram=4, storage=2)
+        )
+        print(
+            f"stranded for a typical VM: cpu {stranding['stranded_cpu']:.1%}, "
+            f"ram {stranding['stranded_ram']:.1%}\n"
+        )
+
+    print(
+        "RISA's uniform band is the Section 4.2 round-robin at work; NULB's\n"
+        "filled prefix is the first-fit frontier that forces inter-rack\n"
+        "splits once early racks run out of a complementary resource."
+    )
+
+
+if __name__ == "__main__":
+    main()

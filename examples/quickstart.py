@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the paper's four schedulers on a small workload.
+
+Builds the paper's 18-rack disaggregated datacenter (Table 1), generates a
+600-VM slice of the Section 5.1 synthetic workload, runs NULB, NALB, RISA,
+and RISA-BF on identical traces, and prints the headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compare_schedulers, paper_default
+from repro.analysis import ascii_bars
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+def main() -> None:
+    spec = paper_default()
+    print(
+        f"Cluster: {spec.ddc.num_racks} racks x {spec.ddc.rack_size} boxes, "
+        f"{spec.network.link_bandwidth_gbps:.0f} Gb/s optical links"
+    )
+
+    vms = generate_synthetic(SyntheticWorkloadParams(count=600), seed=0)
+    print(f"Workload: {len(vms)} VMs (CPU 1-32 cores, RAM 1-32 GB, 128 GB storage)\n")
+
+    comparison = compare_schedulers(spec, vms)
+    print(
+        comparison.table(
+            [
+                "scheduled_vms",
+                "dropped_vms",
+                "inter_rack_assignments",
+                "avg_cpu_ram_latency_ns",
+                "avg_optical_power_kw",
+                "scheduler_time_s",
+            ]
+        )
+    )
+
+    inter = comparison.metric("inter_rack_assignments")
+    print()
+    print(
+        ascii_bars(
+            list(inter),
+            list(inter.values()),
+            title="Inter-rack VM assignments (lower is better)",
+        )
+    )
+
+    risa = comparison.summary("risa")
+    nulb = comparison.summary("nulb")
+    if nulb.avg_optical_power_kw > 0:
+        saving = 100 * (1 - risa.avg_optical_power_kw / nulb.avg_optical_power_kw)
+        print(f"\nRISA optical-power saving vs NULB: {saving:.1f}%")
+    print(
+        f"RISA average CPU-RAM RTT: {risa.avg_cpu_ram_latency_ns:.0f} ns "
+        f"(NULB: {nulb.avg_cpu_ram_latency_ns:.0f} ns)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Analysis helpers: comparisons, ASCII rendering, fragmentation, series."""
+
+from .ascii_plot import ascii_bars, ascii_table, grouped_bars
+from .comparison import ComparisonResult, compare_schedulers
+from .stats import MetricStats, bootstrap_ci, compare_over_seeds, stats_table
+from .placement_map import box_row, occupancy_table, placement_map, rack_row, shade
+from .fragmentation import (
+    StrandingReport,
+    fragmentation_summary,
+    largest_placeable,
+    rack_balance,
+    rack_utilization,
+    stranding_report,
+)
+from .timeseries import (
+    UtilizationSeries,
+    all_demand_series,
+    concurrency_series,
+    demand_series,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "StrandingReport",
+    "UtilizationSeries",
+    "all_demand_series",
+    "ascii_bars",
+    "ascii_table",
+    "compare_schedulers",
+    "concurrency_series",
+    "demand_series",
+    "fragmentation_summary",
+    "grouped_bars",
+    "largest_placeable",
+    "rack_balance",
+    "rack_utilization",
+    "stranding_report",
+    "box_row",
+    "occupancy_table",
+    "placement_map",
+    "rack_row",
+    "shade",
+    "MetricStats",
+    "bootstrap_ci",
+    "compare_over_seeds",
+    "stats_table",
+]

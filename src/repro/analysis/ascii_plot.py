@@ -1,0 +1,72 @@
+"""Terminal-friendly tables and bar charts.
+
+The offline environment has no matplotlib; every figure the benchmark
+harness regenerates is rendered as an ASCII bar chart plus a value table so
+the paper's shapes are visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Render horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    peak = max((abs(v) for v in values), default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak == 0 else int(round(width * abs(value) / peak))
+        bar = "#" * bar_len
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    group_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 30,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Render grouped bars: one block per group, one bar per series —
+    mirroring the paper's grouped-bar figures (7-10, 12)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    peak = max(
+        (abs(v) for values in series.values() for v in values), default=0.0
+    )
+    name_width = max((len(n) for n in series), default=0)
+    for g_idx, group in enumerate(group_labels):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[g_idx]
+            bar_len = 0 if peak == 0 else int(round(width * abs(value) / peak))
+            lines.append(
+                f"  {name.ljust(name_width)} | {'#' * bar_len} {value:g}{unit}"
+            )
+    return "\n".join(lines)

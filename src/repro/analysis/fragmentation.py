@@ -1,0 +1,113 @@
+"""Stranded-resource and fragmentation analysis.
+
+The paper's introduction motivates disaggregation with stranded resources
+("unused stranded resources ... costing up to 85 % of total DC expenses")
+and RISA-BF exists to "better pack resources and reduce resource stranding"
+(Section 4.2).  This module quantifies stranding on a live cluster:
+
+- *stranded units* for a reference VM shape: available units sitting in
+  boxes too small to host that VM's slice (free but unusable);
+- *largest placeable slice* per resource type;
+- *rack balance*: how evenly load is spread across racks (round-robin's
+  contribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..topology import Cluster
+from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
+
+
+@dataclass(frozen=True, slots=True)
+class StrandingReport:
+    """Availability broken down into usable vs stranded, per resource type.
+
+    ``stranded[rtype]`` counts free units in boxes whose availability is
+    below the reference request's slice — free capacity no future VM of
+    that shape can use without defragmentation.
+    """
+
+    reference: ResourceVector
+    available: dict[ResourceType, int]
+    stranded: dict[ResourceType, int]
+
+    def stranded_fraction(self, rtype: ResourceType) -> float:
+        """Stranded units as a fraction of all available units."""
+        avail = self.available[rtype]
+        if avail == 0:
+            return 0.0
+        return self.stranded[rtype] / avail
+
+    def usable(self, rtype: ResourceType) -> int:
+        """Available units in boxes that can host the reference slice."""
+        return self.available[rtype] - self.stranded[rtype]
+
+
+def stranding_report(cluster: Cluster, reference: ResourceVector) -> StrandingReport:
+    """Compute the stranding breakdown for one reference VM shape."""
+    available: dict[ResourceType, int] = {}
+    stranded: dict[ResourceType, int] = {}
+    for rtype in RESOURCE_ORDER:
+        needed = reference.get(rtype)
+        total = 0
+        dead = 0
+        for box in cluster.boxes(rtype):
+            avail = box.avail_units
+            total += avail
+            if needed > 0 and avail < needed:
+                dead += avail
+        available[rtype] = total
+        stranded[rtype] = dead
+    return StrandingReport(reference=reference, available=available, stranded=stranded)
+
+
+def largest_placeable(cluster: Cluster) -> ResourceVector:
+    """The largest single-box slice placeable right now, per type."""
+    values = {}
+    for rtype in RESOURCE_ORDER:
+        values[rtype] = max(
+            (box.avail_units for box in cluster.boxes(rtype)), default=0
+        )
+    return ResourceVector.from_mapping(values)
+
+
+def rack_utilization(cluster: Cluster, rtype: ResourceType) -> list[float]:
+    """Per-rack used fraction of one resource type."""
+    out = []
+    for rack in cluster.racks:
+        capacity = sum(b.capacity_units for b in rack.boxes(rtype))
+        if capacity == 0:
+            out.append(0.0)
+            continue
+        used = capacity - rack.total_avail(rtype)
+        out.append(used / capacity)
+    return out
+
+
+def rack_balance(cluster: Cluster, rtype: ResourceType) -> float:
+    """Coefficient of variation of per-rack utilization (0 = perfectly
+    balanced).  Round-robin keeps this low; first-fit does not — the
+    load-balancing claim of Section 4.2."""
+    utils = rack_utilization(cluster, rtype)
+    if not utils:
+        return 0.0
+    mean = sum(utils) / len(utils)
+    if mean == 0:
+        return 0.0
+    variance = sum((u - mean) ** 2 for u in utils) / len(utils)
+    return math.sqrt(variance) / mean
+
+
+def fragmentation_summary(
+    cluster: Cluster, reference: ResourceVector
+) -> dict[str, float]:
+    """One-call scalar summary used by reports and the ablation bench."""
+    report = stranding_report(cluster, reference)
+    out: dict[str, float] = {}
+    for rtype in RESOURCE_ORDER:
+        out[f"stranded_{rtype.value}"] = report.stranded_fraction(rtype)
+        out[f"balance_cv_{rtype.value}"] = rack_balance(cluster, rtype)
+    return out

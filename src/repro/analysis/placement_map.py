@@ -1,0 +1,79 @@
+"""ASCII visualization of cluster occupancy.
+
+Renders the rack/box grid as utilization heatmaps so placement behaviour is
+inspectable in a terminal: RISA's round-robin shows as a uniform band,
+first-fit frontiers as a filled prefix, fragmentation as ragged boxes.
+"""
+
+from __future__ import annotations
+
+from ..topology import Cluster
+from ..types import RESOURCE_ORDER, ResourceType
+
+#: Ten shading levels from empty to full.
+_SHADES = " .:-=+*#%@"
+
+
+def shade(fraction: float) -> str:
+    """One character for a [0, 1] utilization level."""
+    if fraction < 0.0:
+        fraction = 0.0
+    if fraction > 1.0:
+        fraction = 1.0
+    index = min(int(fraction * len(_SHADES)), len(_SHADES) - 1)
+    return _SHADES[index]
+
+
+def box_row(cluster: Cluster, rtype: ResourceType) -> str:
+    """One shaded character per box of ``rtype``, rack-major with rack
+    separators."""
+    parts: list[str] = []
+    for rack in cluster.racks:
+        cells = "".join(
+            shade(box.used_units / box.capacity_units if box.capacity_units else 0.0)
+            for box in rack.boxes(rtype)
+        )
+        parts.append(cells)
+    return "|".join(parts)
+
+
+def rack_row(cluster: Cluster, rtype: ResourceType) -> str:
+    """One shaded character per rack (aggregate utilization of ``rtype``)."""
+    cells = []
+    for rack in cluster.racks:
+        capacity = sum(b.capacity_units for b in rack.boxes(rtype))
+        used = capacity - rack.total_avail(rtype)
+        cells.append(shade(used / capacity if capacity else 0.0))
+    return "".join(cells)
+
+
+def placement_map(cluster: Cluster, per_box: bool = True) -> str:
+    """Full heatmap: one row per resource type.
+
+    ``per_box=True`` shows every box (racks separated by ``|``);
+    ``per_box=False`` shows one cell per rack.
+    """
+    legend = (
+        f"legend: '{_SHADES[0]}'=empty ... '{_SHADES[-1]}'=full; "
+        + ("racks separated by |" if per_box else "one cell per rack")
+    )
+    lines = [legend]
+    for rtype in RESOURCE_ORDER:
+        row = box_row(cluster, rtype) if per_box else rack_row(cluster, rtype)
+        lines.append(f"{rtype.value:>8s} {row}")
+    return "\n".join(lines)
+
+
+def occupancy_table(cluster: Cluster) -> str:
+    """Numeric per-rack utilization percentages."""
+    header = "rack  " + "  ".join(f"{t.value:>8s}" for t in RESOURCE_ORDER)
+    lines = [header]
+    for rack in cluster.racks:
+        cells = []
+        for rtype in RESOURCE_ORDER:
+            capacity = sum(b.capacity_units for b in rack.boxes(rtype))
+            used = capacity - rack.total_avail(rtype)
+            pct = 100.0 * used / capacity if capacity else 0.0
+            cells.append(f"{pct:7.1f}%")
+        lines.append(f"{rack.index:4d}  " + "  ".join(cells))
+    return "\n".join(lines)

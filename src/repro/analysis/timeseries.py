@@ -1,0 +1,135 @@
+"""Vectorized utilization time series.
+
+Reconstructs the step function of resource demand over time from a workload
+and the set of scheduled VM ids — all NumPy, no re-simulation.  Used for
+utilization-over-time plots, peak detection, and as an independent
+cross-check of the simulator's time-weighted gauges (the integral of the
+series must match the gauge averages; pinned by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Iterable
+
+import numpy as np
+
+from ..config import ClusterSpec
+from ..errors import WorkloadError
+from ..types import RESOURCE_ORDER, ResourceType
+from ..workloads import VMRequest, resolve
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationSeries:
+    """A right-continuous step function: value ``values[i]`` holds on
+    ``[times[i], times[i+1])``."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.values.shape:
+            raise WorkloadError("times and values must have equal shape")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise WorkloadError("times must be non-decreasing")
+
+    @property
+    def peak(self) -> float:
+        """Largest value attained."""
+        return float(self.values.max()) if self.values.size else 0.0
+
+    def time_average(self) -> float:
+        """Exact time-weighted average over [times[0], times[-1]]."""
+        if self.times.size < 2:
+            return float(self.values[0]) if self.values.size else 0.0
+        widths = np.diff(self.times)
+        total = self.times[-1] - self.times[0]
+        if total <= 0:
+            return float(self.values[0])
+        return float(np.dot(self.values[:-1], widths) / total)
+
+    def value_at(self, time: float) -> float:
+        """Value of the step function at one instant."""
+        if not self.times.size:
+            return 0.0
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        if index < 0:
+            return 0.0
+        return float(self.values[index])
+
+    def resample(self, num_points: int) -> "UtilizationSeries":
+        """Evaluate on a uniform grid (for plotting/export)."""
+        if num_points < 2:
+            raise WorkloadError("need at least 2 resample points")
+        grid = np.linspace(self.times[0], self.times[-1], num_points)
+        vals = np.array([self.value_at(t) for t in grid])
+        return UtilizationSeries(times=grid, values=vals)
+
+
+def demand_series(
+    vms: Iterable[VMRequest],
+    spec: ClusterSpec,
+    rtype: ResourceType,
+    scheduled_ids: Collection[int] | None = None,
+    normalize: bool = True,
+) -> UtilizationSeries:
+    """Step function of total ``rtype`` units demanded by live VMs.
+
+    ``scheduled_ids`` restricts the series to VMs that were actually placed
+    (pass ``None`` for offered load).  With ``normalize=True`` values are
+    fractions of cluster capacity — directly comparable to the simulator's
+    compute-utilization gauges.
+    """
+    events: list[tuple[float, int]] = []
+    for vm in vms:
+        if scheduled_ids is not None and vm.vm_id not in scheduled_ids:
+            continue
+        units = resolve(vm, spec).units.get(rtype)
+        if units == 0:
+            continue
+        events.append((vm.arrival, units))
+        events.append((vm.departure, -units))
+    if not events:
+        return UtilizationSeries(times=np.zeros(1), values=np.zeros(1))
+    events.sort()
+    times = np.array([t for t, _ in events])
+    deltas = np.array([d for _, d in events], dtype=float)
+    values = np.cumsum(deltas)
+    # Merge simultaneous events: keep the last cumulative value per time.
+    keep = np.append(np.diff(times) > 0, True)
+    times = times[keep]
+    values = values[keep]
+    if normalize:
+        capacity = spec.ddc.cluster_capacity_units(rtype)
+        if capacity > 0:
+            values = values / capacity
+    return UtilizationSeries(times=times, values=values)
+
+
+def all_demand_series(
+    vms: Iterable[VMRequest],
+    spec: ClusterSpec,
+    scheduled_ids: Collection[int] | None = None,
+) -> dict[ResourceType, UtilizationSeries]:
+    """``demand_series`` for all three resource types."""
+    trace = list(vms)
+    return {
+        rtype: demand_series(trace, spec, rtype, scheduled_ids)
+        for rtype in RESOURCE_ORDER
+    }
+
+
+def concurrency_series(vms: Iterable[VMRequest]) -> UtilizationSeries:
+    """Step function of the number of live VMs over time."""
+    events: list[tuple[float, int]] = []
+    for vm in vms:
+        events.append((vm.arrival, 1))
+        events.append((vm.departure, -1))
+    if not events:
+        return UtilizationSeries(times=np.zeros(1), values=np.zeros(1))
+    events.sort()
+    times = np.array([t for t, _ in events])
+    values = np.cumsum([d for _, d in events]).astype(float)
+    keep = np.append(np.diff(times) > 0, True)
+    return UtilizationSeries(times=times[keep], values=values[keep])

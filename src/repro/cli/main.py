@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro`` or the ``risa-repro`` script.
+
+Subcommands
+-----------
+``run-all``      — regenerate every paper figure/table and print the report.
+``experiment``   — run one experiment by id (toy1, toy2, fig5..fig12).
+``simulate``     — run one scheduler on one workload and print the summary.
+``generate``     — write a workload trace (synthetic or Azure-calibrated) to
+                   a JSONL file.
+``compare``      — run the paper's four schedulers on a workload and print a
+                   side-by-side table.
+``heatmap``      — simulate up to a point in time and print the cluster
+                   occupancy heatmap plus stranding metrics.
+``events``       — run one scheduler with the structured event log enabled
+                   and write the JSONL trace (printing its digest).
+``stats``        — multi-seed comparison with bootstrap confidence
+                   intervals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..analysis import compare_schedulers, compare_over_seeds, occupancy_table, placement_map, stats_table
+from ..analysis.fragmentation import fragmentation_summary
+from ..config import paper_default
+from ..sim import DDCSimulator, EventLog
+from ..types import ResourceVector
+from ..experiments import EXPERIMENTS, render_report, run_all, run_experiment
+from ..schedulers import ALL_SCHEDULERS, PAPER_SCHEDULERS
+from ..sim import simulate
+from ..workloads import (
+    SyntheticWorkloadParams,
+    generate_synthetic,
+    load_trace,
+    save_trace,
+    synthesize_azure,
+)
+
+
+def _workload_from_args(args: argparse.Namespace):
+    """Build the workload selected by --workload / --trace flags."""
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    name = args.workload
+    if name == "synthetic":
+        params = SyntheticWorkloadParams(count=args.count) if args.count else None
+        return generate_synthetic(params, seed=args.seed)
+    if name.startswith("azure-"):
+        subset = int(name.split("-", 1)[1])
+        vms = synthesize_azure(subset, seed=args.seed)
+        if args.count:
+            vms = vms[: args.count]
+        return vms
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default="synthetic",
+        help="synthetic | azure-3000 | azure-5000 | azure-7500",
+    )
+    parser.add_argument("--trace", help="JSONL trace file (overrides --workload)")
+    parser.add_argument("--count", type=int, default=0, help="truncate to N VMs")
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="risa-repro",
+        description="Reproduction of RISA (SC-W 2023): schedulers, simulator, "
+        "and per-figure experiment harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run-all", help="regenerate every paper figure/table")
+    p.add_argument("--quick", action="store_true", help="smaller workloads")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", help="write per-experiment JSON here")
+
+    p = sub.add_parser("experiment", help="run one experiment by id")
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="run one scheduler on one workload")
+    p.add_argument("scheduler", choices=sorted(ALL_SCHEDULERS))
+    _add_workload_flags(p)
+
+    p = sub.add_parser("compare", help="run the paper's four schedulers")
+    _add_workload_flags(p)
+
+    p = sub.add_parser("generate", help="write a workload trace to JSONL")
+    p.add_argument("output", help="output JSONL path")
+    _add_workload_flags(p)
+
+    p = sub.add_parser("heatmap", help="cluster occupancy heatmap mid-run")
+    p.add_argument("scheduler", choices=sorted(ALL_SCHEDULERS))
+    p.add_argument("--until", type=float, default=None,
+                   help="simulation time to snapshot at (default: peak load)")
+    _add_workload_flags(p)
+
+    p = sub.add_parser("events", help="export the structured event log")
+    p.add_argument("scheduler", choices=sorted(ALL_SCHEDULERS))
+    p.add_argument("output", help="output JSONL path")
+    _add_workload_flags(p)
+
+    p = sub.add_parser("stats", help="multi-seed comparison with CIs")
+    p.add_argument("--seeds", type=int, default=3, help="number of seeds")
+    p.add_argument("--count", type=int, default=300, help="VMs per seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run-all":
+        results = run_all(quick=args.quick, seed=args.seed, output_dir=args.output_dir)
+        print(render_report(results))
+        return 0 if all(r.shape_ok for r in results) else 1
+
+    if args.command == "experiment":
+        result = run_experiment(args.id, quick=args.quick, seed=args.seed)
+        print(result.report())
+        return 0 if result.shape_ok else 1
+
+    if args.command == "simulate":
+        vms = _workload_from_args(args)
+        result = simulate(paper_default(), args.scheduler, vms)
+        for key, value in result.summary.as_dict().items():
+            print(f"{key:32s} {value}")
+        return 0
+
+    if args.command == "compare":
+        vms = _workload_from_args(args)
+        comparison = compare_schedulers(paper_default(), vms, PAPER_SCHEDULERS)
+        print(
+            comparison.table(
+                [
+                    "scheduled_vms",
+                    "dropped_vms",
+                    "inter_rack_assignments",
+                    "inter_rack_percent",
+                    "avg_cpu_ram_latency_ns",
+                    "avg_optical_power_kw",
+                    "scheduler_time_s",
+                ]
+            )
+        )
+        return 0
+
+    if args.command == "generate":
+        vms = _workload_from_args(args)
+        count = save_trace(vms, args.output)
+        print(f"wrote {count} VM requests to {args.output}")
+        return 0
+
+    if args.command == "heatmap":
+        vms = _workload_from_args(args)
+        until = args.until
+        if until is None:
+            # Snapshot at the median departure: near peak concurrency.
+            departures = sorted(vm.departure for vm in vms)
+            until = departures[len(departures) // 2]
+        sim = DDCSimulator(paper_default(), args.scheduler)
+        sim.run(vms, until=until)
+        print(f"cluster occupancy at t={until:g} under {args.scheduler}:")
+        print(placement_map(sim.cluster))
+        print()
+        print(occupancy_table(sim.cluster))
+        reference = ResourceVector(cpu=2, ram=4, storage=2)  # the typical VM
+        print()
+        for key, value in fragmentation_summary(sim.cluster, reference).items():
+            print(f"{key:24s} {value:.4f}")
+        return 0
+
+    if args.command == "events":
+        vms = _workload_from_args(args)
+        log = EventLog()
+        sim = DDCSimulator(paper_default(), args.scheduler, event_log=log)
+        sim.run(vms)
+        log.audit()
+        count = log.save(args.output)
+        print(f"wrote {count} events to {args.output}")
+        print(f"digest: {log.digest()}")
+        return 0
+
+    if args.command == "stats":
+        from ..workloads import SyntheticWorkloadParams
+
+        def factory(seed: int):
+            return generate_synthetic(
+                SyntheticWorkloadParams(count=args.count), seed=seed
+            )
+
+        stats = compare_over_seeds(
+            paper_default(),
+            factory,
+            schedulers=PAPER_SCHEDULERS,
+            metrics=("inter_rack_assignments", "avg_cpu_ram_latency_ns",
+                     "avg_optical_power_kw"),
+            seeds=tuple(range(args.seeds)),
+        )
+        print(stats_table(stats))
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

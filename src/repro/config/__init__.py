@@ -1,0 +1,39 @@
+"""Configuration objects for the RISA reproduction.
+
+Public surface:
+
+- :class:`DDCConfig` — cluster shape and unit quantization (Table 1).
+- :class:`NetworkConfig` / :class:`BandwidthBasis` — link capacities and
+  per-VM bandwidth demands (Table 2).
+- :class:`EnergyConfig` — optical energy model constants (Section 3.2).
+- :class:`LatencyConfig` — CPU-RAM round-trip latencies (Section 5.2).
+- :class:`ClusterSpec` — bundle of all of the above.
+- Presets: :func:`paper_default`, :func:`toy_example`, :func:`scaled`,
+  :func:`tiny_test`.
+- JSON round-trip helpers in :mod:`repro.config.serialization`.
+"""
+
+from .cluster_spec import ClusterSpec
+from .ddc import DDCConfig
+from .energy import EnergyConfig
+from .latency import LatencyConfig
+from .network import BandwidthBasis, NetworkConfig
+from .presets import paper_default, scaled, tiny_test, toy_example
+from .serialization import load_spec, save_spec, spec_from_dict, spec_to_dict
+
+__all__ = [
+    "BandwidthBasis",
+    "ClusterSpec",
+    "DDCConfig",
+    "EnergyConfig",
+    "LatencyConfig",
+    "NetworkConfig",
+    "load_spec",
+    "paper_default",
+    "save_spec",
+    "scaled",
+    "spec_from_dict",
+    "spec_to_dict",
+    "tiny_test",
+    "toy_example",
+]

@@ -1,0 +1,31 @@
+"""Top-level bundle of all configuration facets.
+
+:class:`ClusterSpec` is the single object threaded through topology building,
+scheduling, simulation, and reporting.  Presets live in
+:mod:`repro.config.presets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .ddc import DDCConfig
+from .energy import EnergyConfig
+from .latency import LatencyConfig
+from .network import NetworkConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """All configuration needed to build and simulate a DDC cluster."""
+
+    ddc: DDCConfig = field(default_factory=DDCConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+
+    def with_overrides(self, **facets: Any) -> "ClusterSpec":
+        """Return a copy with whole facets replaced, e.g.
+        ``spec.with_overrides(ddc=new_ddc)``."""
+        return replace(self, **facets)

@@ -1,0 +1,145 @@
+"""Disaggregated-datacenter shape configuration (paper Table 1).
+
+The paper's default cluster is 18 racks x 6 boxes x 8 bricks x 16 units, with
+a CPU unit = 4 cores, RAM unit = 4 GB, storage unit = 64 GB.  Each box holds a
+single resource type; the paper does not state the per-rack split across the
+three types, so we default to the only symmetric split (2 + 2 + 2) and make
+it configurable (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from ..types import RESOURCE_ORDER, ResourceType, ceil_div
+
+
+@dataclass(frozen=True, slots=True)
+class DDCConfig:
+    """Shape and unit quantization of the disaggregated cluster.
+
+    Parameters
+    ----------
+    num_racks:
+        Racks in the cluster ("Cluster size", Table 1).
+    boxes_per_rack:
+        Mapping from resource type to number of boxes of that type per rack.
+        Must sum to the rack size (6 in the paper).
+    bricks_per_box:
+        Bricks per box (8 in the paper).
+    units_per_brick:
+        Resource units per brick (16 in the paper).
+    cpu_cores_per_unit / ram_gb_per_unit / storage_gb_per_unit:
+        Natural quantity represented by one unit of each type (Table 1).
+    box_capacity_override_units:
+        Optional per-type override of the box capacity in units.  Used by the
+        toy-example preset (Table 3) where a storage box holds 512 GB =
+        8 units while CPU/RAM boxes hold 16 units.
+    unit_quantize:
+        When True (default), requests are rounded *up* to whole units before
+        allocation — the hardware is brick-quantized.  When False, natural
+        quantities are treated as one unit each (raw accounting); this mode
+        exists to reproduce the raw-core arithmetic of the paper's Table 4
+        RISA-BF column (see DESIGN.md Section 5).
+    """
+
+    num_racks: int = 18
+    boxes_per_rack: Mapping[ResourceType, int] = field(
+        default_factory=lambda: {
+            ResourceType.CPU: 2,
+            ResourceType.RAM: 2,
+            ResourceType.STORAGE: 2,
+        }
+    )
+    bricks_per_box: int = 8
+    units_per_brick: int = 16
+    cpu_cores_per_unit: int = 4
+    ram_gb_per_unit: int = 4
+    storage_gb_per_unit: int = 64
+    box_capacity_override_units: Mapping[ResourceType, int] | None = None
+    unit_quantize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_racks <= 0:
+            raise ConfigurationError(f"num_racks must be positive: {self.num_racks}")
+        if self.bricks_per_box <= 0 or self.units_per_brick <= 0:
+            raise ConfigurationError("bricks_per_box and units_per_brick must be positive")
+        for name in ("cpu_cores_per_unit", "ram_gb_per_unit", "storage_gb_per_unit"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        for rtype in RESOURCE_ORDER:
+            if rtype not in self.boxes_per_rack:
+                raise ConfigurationError(f"boxes_per_rack missing {rtype}")
+            if self.boxes_per_rack[rtype] < 0:
+                raise ConfigurationError(f"boxes_per_rack[{rtype}] must be >= 0")
+        if all(self.boxes_per_rack[t] == 0 for t in RESOURCE_ORDER):
+            raise ConfigurationError("at least one box per rack is required")
+        if self.box_capacity_override_units is not None:
+            for rtype, cap in self.box_capacity_override_units.items():
+                if cap <= 0:
+                    raise ConfigurationError(
+                        f"box capacity override for {rtype} must be positive: {cap}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Derived shape quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rack_size(self) -> int:
+        """Total boxes per rack ("Rack size", 6 in the paper)."""
+        return sum(self.boxes_per_rack[t] for t in RESOURCE_ORDER)
+
+    def box_capacity_units(self, rtype: ResourceType) -> int:
+        """Capacity of one box of ``rtype`` in units."""
+        if self.box_capacity_override_units is not None:
+            override = self.box_capacity_override_units.get(rtype)
+            if override is not None:
+                return override
+        return self.bricks_per_box * self.units_per_brick
+
+    def rack_capacity_units(self, rtype: ResourceType) -> int:
+        """Aggregate capacity of ``rtype`` in one rack, in units."""
+        return self.boxes_per_rack[rtype] * self.box_capacity_units(rtype)
+
+    def cluster_capacity_units(self, rtype: ResourceType) -> int:
+        """Aggregate capacity of ``rtype`` in the whole cluster, in units."""
+        return self.num_racks * self.rack_capacity_units(rtype)
+
+    def total_boxes(self, rtype: ResourceType | None = None) -> int:
+        """Number of boxes in the cluster, optionally of a single type."""
+        if rtype is None:
+            return self.num_racks * self.rack_size
+        return self.num_racks * self.boxes_per_rack[rtype]
+
+    # ------------------------------------------------------------------ #
+    # Natural-quantity <-> unit conversion
+    # ------------------------------------------------------------------ #
+
+    def natural_per_unit(self, rtype: ResourceType) -> int:
+        """Cores / GB / GB represented by one unit of ``rtype``."""
+        if rtype is ResourceType.CPU:
+            return self.cpu_cores_per_unit
+        if rtype is ResourceType.RAM:
+            return self.ram_gb_per_unit
+        return self.storage_gb_per_unit
+
+    def to_units(self, rtype: ResourceType, natural: float) -> int:
+        """Quantize a natural quantity to whole units (ceiling).
+
+        With ``unit_quantize=False`` the natural quantity itself (rounded up
+        to an integer) is used as the unit count — i.e. 1 core == 1 unit.
+        """
+        if natural < 0:
+            raise ConfigurationError(f"negative resource request: {natural}")
+        if not self.unit_quantize:
+            return ceil_div(int(-(-natural // 1)), 1)
+        return ceil_div(int(-(-natural // 1)), self.natural_per_unit(rtype))
+
+    def box_capacity_natural(self, rtype: ResourceType) -> int:
+        """Capacity of one box of ``rtype`` in natural quantity (cores/GB)."""
+        if not self.unit_quantize:
+            return self.box_capacity_units(rtype)
+        return self.box_capacity_units(rtype) * self.natural_per_unit(rtype)

@@ -1,0 +1,67 @@
+"""Optical energy-model constants (paper Section 3.2, Equation 1).
+
+The paper models MRR-based Beneš switches: a path through a ``P``-port Beneš
+crosses ``2*log2(P) - 1`` cells; half of them are assumed to reconfigure
+(switching power ``P_sw_cell`` for the switching latency ``lat_sw``), and all
+of them are trimmed (``P_trim_cell``) for the VM's lifetime scaled by a
+sharing factor ``alpha``:
+
+    E_sw = (n/2 * P_sw_cell * lat_sw) + (alpha * n * P_trim_cell * T)
+
+Constants from the paper: ``P_trim_cell = 22.67 mW``, ``P_sw_cell =
+13.75 mW`` (both from Mirza et al. 2022), ``alpha = 0.9``, transceiver energy
+``22.5 pJ/bit`` (Luxtera SiP module, via Zervas et al.).
+
+The cell-switching latency "depends on the switch size" (ref [6]) without the
+paper giving numbers; we default to a per-stage latency so that
+``lat_sw(P) = per_stage_latency_s * (2*log2(P) - 1)`` and allow an explicit
+per-radix table override.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyConfig:
+    """Constants for Equation (1) and the transceiver energy model."""
+
+    p_trim_cell_w: float = 22.67e-3
+    p_sw_cell_w: float = 13.75e-3
+    alpha: float = 0.9
+    transceiver_pj_per_bit: float = 22.5
+    per_stage_latency_s: float = 50e-9
+    switch_latency_table_s: Mapping[int, float] = field(default_factory=dict)
+    seconds_per_time_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.p_trim_cell_w < 0 or self.p_sw_cell_w < 0:
+            raise ConfigurationError("cell powers must be >= 0")
+        if not (0.5 <= self.alpha <= 1.0):
+            raise ConfigurationError(
+                f"alpha must lie in [0.5, 1.0] (paper Section 3.2), got {self.alpha}"
+            )
+        if self.transceiver_pj_per_bit < 0:
+            raise ConfigurationError("transceiver_pj_per_bit must be >= 0")
+        if self.per_stage_latency_s <= 0:
+            raise ConfigurationError("per_stage_latency_s must be positive")
+        if self.seconds_per_time_unit <= 0:
+            raise ConfigurationError("seconds_per_time_unit must be positive")
+
+    def switch_latency_s(self, ports: int) -> float:
+        """Cell-switching latency for a ``ports``-port Beneš switch.
+
+        Uses the explicit table when provided, otherwise scales linearly with
+        the number of stages (= cells along a path).
+        """
+        if ports in self.switch_latency_table_s:
+            return self.switch_latency_table_s[ports]
+        if ports < 2:
+            raise ConfigurationError(f"switch must have >= 2 ports, got {ports}")
+        stages = 2 * math.ceil(math.log2(ports)) - 1
+        return self.per_stage_latency_s * stages

@@ -1,0 +1,33 @@
+"""CPU-RAM round-trip latency constants (paper Section 5.2).
+
+From Zervas et al. (via the paper): 110 ns round-trip within a rack, 330 ns
+across racks.  The paper notes 330 ns is optimistic for large inter-rack
+switches; the values are configurable for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyConfig:
+    """Round-trip CPU-RAM latency by placement locality, in nanoseconds."""
+
+    intra_rack_ns: float = 110.0
+    inter_rack_ns: float = 330.0
+
+    def __post_init__(self) -> None:
+        if self.intra_rack_ns <= 0 or self.inter_rack_ns <= 0:
+            raise ConfigurationError("latencies must be positive")
+        if self.inter_rack_ns < self.intra_rack_ns:
+            raise ConfigurationError(
+                "inter-rack latency must be >= intra-rack latency "
+                f"({self.inter_rack_ns} < {self.intra_rack_ns})"
+            )
+
+    def cpu_ram_rtt_ns(self, intra_rack: bool) -> float:
+        """Round-trip latency for a CPU-RAM pairing."""
+        return self.intra_rack_ns if intra_rack else self.inter_rack_ns

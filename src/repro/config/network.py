@@ -1,0 +1,95 @@
+"""Optical-network configuration (paper Table 2 and Section 3.1).
+
+Links are 200 Gb/s SiP modules (8 x 25 Gb/s spatially multiplexed channels).
+The paper gives per-unit bandwidth demands between resource slices of a VM
+(Table 2) but leaves the *basis* ("per unit" of what?) and the parallel-link
+counts implicit; both are configurable here with documented defaults (see
+DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class BandwidthBasis(enum.Enum):
+    """Which unit count scales a flow's bandwidth demand (Table 2 ambiguity).
+
+    ``PER_RAM_UNIT``
+        CPU-RAM demand = 5 Gb/s x RAM units (memory traffic scales with the
+        amount of memory) — the library default.
+    ``PER_CPU_UNIT``
+        CPU-RAM demand = 5 Gb/s x CPU units.
+    ``PER_MAX_UNIT``
+        CPU-RAM demand = 5 Gb/s x max(CPU units, RAM units).
+    """
+
+    PER_RAM_UNIT = "per_ram_unit"
+    PER_CPU_UNIT = "per_cpu_unit"
+    PER_MAX_UNIT = "per_max_unit"
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Bandwidth capacities, demands, and switch port counts.
+
+    Parameters
+    ----------
+    link_bandwidth_gbps:
+        Capacity of a single optical link (200 Gb/s in the paper).
+    box_uplinks:
+        Parallel links between each box switch and its rack switch (default
+        8: one per brick's SiP module).
+    rack_uplinks:
+        Parallel links between each rack switch and the inter-rack switch
+        (default 28: the most the 512-port inter-rack switch can give each of
+        18 racks, 18 x 28 = 504 <= 512).
+    cpu_ram_gbps_per_unit / ram_storage_gbps_per_unit:
+        Table 2 demands: 5 Gb/s and 1 Gb/s per unit respectively.
+    bandwidth_basis:
+        See :class:`BandwidthBasis`.
+    box_switch_ports / rack_switch_ports / inter_rack_switch_ports:
+        Beneš switch radices used by the energy model (Section 5 of the
+        paper: 64 / 256 / 512).
+    """
+
+    link_bandwidth_gbps: float = 200.0
+    box_uplinks: int = 8
+    rack_uplinks: int = 28
+    cpu_ram_gbps_per_unit: float = 5.0
+    ram_storage_gbps_per_unit: float = 1.0
+    bandwidth_basis: BandwidthBasis = BandwidthBasis.PER_RAM_UNIT
+    box_switch_ports: int = 64
+    rack_switch_ports: int = 256
+    inter_rack_switch_ports: int = 512
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_gbps <= 0:
+            raise ConfigurationError("link_bandwidth_gbps must be positive")
+        if self.box_uplinks <= 0 or self.rack_uplinks <= 0:
+            raise ConfigurationError("uplink counts must be positive")
+        if self.cpu_ram_gbps_per_unit < 0 or self.ram_storage_gbps_per_unit < 0:
+            raise ConfigurationError("per-unit bandwidth demands must be >= 0")
+        for name in ("box_switch_ports", "rack_switch_ports", "inter_rack_switch_ports"):
+            ports = getattr(self, name)
+            if ports < 2 or ports & (ports - 1):
+                raise ConfigurationError(
+                    f"{name} must be a power of two >= 2 (Beneš radix), got {ports}"
+                )
+
+    def cpu_ram_demand_gbps(self, cpu_units: int, ram_units: int) -> float:
+        """Bandwidth demand of a VM's CPU<->RAM flow (Table 2)."""
+        if self.bandwidth_basis is BandwidthBasis.PER_RAM_UNIT:
+            scale = ram_units
+        elif self.bandwidth_basis is BandwidthBasis.PER_CPU_UNIT:
+            scale = cpu_units
+        else:
+            scale = max(cpu_units, ram_units)
+        return self.cpu_ram_gbps_per_unit * scale
+
+    def ram_storage_demand_gbps(self, storage_units: int) -> float:
+        """Bandwidth demand of a VM's RAM<->storage flow (Table 2)."""
+        return self.ram_storage_gbps_per_unit * storage_units

@@ -1,0 +1,85 @@
+"""Canonical configurations used by the paper's experiments.
+
+``paper_default()`` reproduces Tables 1-2 (18-rack cluster); ``toy_example()``
+reproduces the 2-rack state of Table 3 (Section 4.3); ``scaled()`` produces
+larger/smaller clusters with the paper's per-rack shape for capacity studies.
+"""
+
+from __future__ import annotations
+
+from ..types import ResourceType
+from .cluster_spec import ClusterSpec
+from .ddc import DDCConfig
+from .energy import EnergyConfig
+from .latency import LatencyConfig
+from .network import NetworkConfig
+
+
+def paper_default() -> ClusterSpec:
+    """The configuration of Tables 1-2: 18 racks x 6 boxes x 8 bricks x 16
+    units, 200 Gb/s links, 64/256/512-port switches."""
+    return ClusterSpec(
+        ddc=DDCConfig(),
+        network=NetworkConfig(),
+        energy=EnergyConfig(),
+        latency=LatencyConfig(),
+    )
+
+
+def toy_example(unit_quantize: bool = True) -> ClusterSpec:
+    """The 2-rack toy cluster of Table 3 (Section 4.3).
+
+    Per rack: 2 CPU boxes of 64 cores, 2 RAM boxes of 64 GB, 2 storage boxes
+    of 512 GB.  With 4-core / 4-GB / 64-GB units this is 16 / 16 / 8 units
+    per box respectively (one brick of 16 units, except storage at 8 units).
+
+    ``unit_quantize=False`` switches to raw-core/GB accounting, which is what
+    the paper's Table 4 RISA-BF walkthrough uses (see DESIGN.md Section 5).
+    """
+    ddc = DDCConfig(
+        num_racks=2,
+        boxes_per_rack={
+            ResourceType.CPU: 2,
+            ResourceType.RAM: 2,
+            ResourceType.STORAGE: 2,
+        },
+        bricks_per_box=1,
+        units_per_brick=16,
+        box_capacity_override_units=(
+            {ResourceType.STORAGE: 8}
+            if unit_quantize
+            else {
+                ResourceType.CPU: 64,
+                ResourceType.RAM: 64,
+                ResourceType.STORAGE: 512,
+            }
+        ),
+        unit_quantize=unit_quantize,
+    )
+    return ClusterSpec(ddc=ddc)
+
+
+def scaled(num_racks: int) -> ClusterSpec:
+    """A cluster with the paper's per-rack shape but ``num_racks`` racks.
+
+    Used by the scaling ablations (the paper conjectures RISA's latency
+    advantage grows with system size, Section 5.2).
+    """
+    return ClusterSpec(ddc=DDCConfig(num_racks=num_racks))
+
+
+def tiny_test() -> ClusterSpec:
+    """A deliberately small cluster (2 racks, 1 box per type, 2 bricks) for
+    fast unit tests and failure-injection scenarios."""
+    ddc = DDCConfig(
+        num_racks=2,
+        boxes_per_rack={
+            ResourceType.CPU: 1,
+            ResourceType.RAM: 1,
+            ResourceType.STORAGE: 1,
+        },
+        bricks_per_box=2,
+        units_per_brick=4,
+    )
+    network = NetworkConfig(box_uplinks=2, rack_uplinks=2)
+    return ClusterSpec(ddc=ddc, network=network)

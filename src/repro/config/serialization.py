@@ -1,0 +1,148 @@
+"""JSON-friendly (de)serialization of configuration objects.
+
+Round-trips every facet of :class:`~repro.config.cluster_spec.ClusterSpec`
+through plain dicts so experiment manifests can be written to disk and
+reloaded bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..types import ResourceType
+from .cluster_spec import ClusterSpec
+from .ddc import DDCConfig
+from .energy import EnergyConfig
+from .latency import LatencyConfig
+from .network import BandwidthBasis, NetworkConfig
+
+
+def ddc_to_dict(cfg: DDCConfig) -> dict[str, Any]:
+    """Serialize a :class:`DDCConfig` to a JSON-compatible dict."""
+    return {
+        "num_racks": cfg.num_racks,
+        "boxes_per_rack": {t.value: cfg.boxes_per_rack[t] for t in cfg.boxes_per_rack},
+        "bricks_per_box": cfg.bricks_per_box,
+        "units_per_brick": cfg.units_per_brick,
+        "cpu_cores_per_unit": cfg.cpu_cores_per_unit,
+        "ram_gb_per_unit": cfg.ram_gb_per_unit,
+        "storage_gb_per_unit": cfg.storage_gb_per_unit,
+        "box_capacity_override_units": (
+            None
+            if cfg.box_capacity_override_units is None
+            else {t.value: v for t, v in cfg.box_capacity_override_units.items()}
+        ),
+        "unit_quantize": cfg.unit_quantize,
+    }
+
+
+def ddc_from_dict(data: dict[str, Any]) -> DDCConfig:
+    """Inverse of :func:`ddc_to_dict`."""
+    try:
+        override = data.get("box_capacity_override_units")
+        return DDCConfig(
+            num_racks=data["num_racks"],
+            boxes_per_rack={
+                ResourceType(k): v for k, v in data["boxes_per_rack"].items()
+            },
+            bricks_per_box=data["bricks_per_box"],
+            units_per_brick=data["units_per_brick"],
+            cpu_cores_per_unit=data["cpu_cores_per_unit"],
+            ram_gb_per_unit=data["ram_gb_per_unit"],
+            storage_gb_per_unit=data["storage_gb_per_unit"],
+            box_capacity_override_units=(
+                None
+                if override is None
+                else {ResourceType(k): v for k, v in override.items()}
+            ),
+            unit_quantize=data["unit_quantize"],
+        )
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ConfigurationError(f"missing DDC config key: {exc}") from exc
+
+
+def network_to_dict(cfg: NetworkConfig) -> dict[str, Any]:
+    """Serialize a :class:`NetworkConfig`."""
+    return {
+        "link_bandwidth_gbps": cfg.link_bandwidth_gbps,
+        "box_uplinks": cfg.box_uplinks,
+        "rack_uplinks": cfg.rack_uplinks,
+        "cpu_ram_gbps_per_unit": cfg.cpu_ram_gbps_per_unit,
+        "ram_storage_gbps_per_unit": cfg.ram_storage_gbps_per_unit,
+        "bandwidth_basis": cfg.bandwidth_basis.value,
+        "box_switch_ports": cfg.box_switch_ports,
+        "rack_switch_ports": cfg.rack_switch_ports,
+        "inter_rack_switch_ports": cfg.inter_rack_switch_ports,
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> NetworkConfig:
+    """Inverse of :func:`network_to_dict`."""
+    kwargs = dict(data)
+    kwargs["bandwidth_basis"] = BandwidthBasis(kwargs["bandwidth_basis"])
+    return NetworkConfig(**kwargs)
+
+
+def energy_to_dict(cfg: EnergyConfig) -> dict[str, Any]:
+    """Serialize an :class:`EnergyConfig`."""
+    return {
+        "p_trim_cell_w": cfg.p_trim_cell_w,
+        "p_sw_cell_w": cfg.p_sw_cell_w,
+        "alpha": cfg.alpha,
+        "transceiver_pj_per_bit": cfg.transceiver_pj_per_bit,
+        "per_stage_latency_s": cfg.per_stage_latency_s,
+        "switch_latency_table_s": {str(k): v for k, v in cfg.switch_latency_table_s.items()},
+        "seconds_per_time_unit": cfg.seconds_per_time_unit,
+    }
+
+
+def energy_from_dict(data: dict[str, Any]) -> EnergyConfig:
+    """Inverse of :func:`energy_to_dict`."""
+    kwargs = dict(data)
+    kwargs["switch_latency_table_s"] = {
+        int(k): v for k, v in kwargs.get("switch_latency_table_s", {}).items()
+    }
+    return EnergyConfig(**kwargs)
+
+
+def latency_to_dict(cfg: LatencyConfig) -> dict[str, Any]:
+    """Serialize a :class:`LatencyConfig`."""
+    return {"intra_rack_ns": cfg.intra_rack_ns, "inter_rack_ns": cfg.inter_rack_ns}
+
+
+def latency_from_dict(data: dict[str, Any]) -> LatencyConfig:
+    """Inverse of :func:`latency_to_dict`."""
+    return LatencyConfig(**data)
+
+
+def spec_to_dict(spec: ClusterSpec) -> dict[str, Any]:
+    """Serialize a full :class:`ClusterSpec`."""
+    return {
+        "ddc": ddc_to_dict(spec.ddc),
+        "network": network_to_dict(spec.network),
+        "energy": energy_to_dict(spec.energy),
+        "latency": latency_to_dict(spec.latency),
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> ClusterSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    return ClusterSpec(
+        ddc=ddc_from_dict(data["ddc"]),
+        network=network_from_dict(data["network"]),
+        energy=energy_from_dict(data["energy"]),
+        latency=latency_from_dict(data["latency"]),
+    )
+
+
+def save_spec(spec: ClusterSpec, path: str | Path) -> None:
+    """Write a spec to a JSON file."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2, sort_keys=True))
+
+
+def load_spec(path: str | Path) -> ClusterSpec:
+    """Read a spec from a JSON file produced by :func:`save_spec`."""
+    return spec_from_dict(json.loads(Path(path).read_text()))

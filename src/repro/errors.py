@@ -1,0 +1,48 @@
+"""Exception hierarchy for the RISA reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate on the finer-grained subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object failed validation."""
+
+
+class CapacityError(ReproError):
+    """An allocation would exceed (or a release would underflow) capacity."""
+
+
+class AllocationError(ReproError):
+    """A compute-resource allocation request could not be satisfied."""
+
+
+class NetworkAllocationError(ReproError):
+    """A network-bandwidth allocation request could not be satisfied."""
+
+
+class TopologyError(ReproError):
+    """The datacenter topology is malformed or an entity lookup failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation entered an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace is malformed or could not be generated/parsed."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was misused or entered an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver failed or its shape assertions were violated."""

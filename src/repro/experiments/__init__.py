@@ -1,0 +1,46 @@
+"""Experiment drivers: one per paper table/figure (see DESIGN.md Section 3)."""
+
+from .base import ExperimentResult, ShapeCheck
+from .figures import (
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+from .runner import EXPERIMENTS, render_report, run_all, run_experiment
+from .sensitivity import (
+    EXTENSION_EXPERIMENTS,
+    run_alpha_sensitivity,
+    run_bandwidth_basis_sensitivity,
+    run_burstiness_robustness,
+    run_rack_scaling,
+)
+from .toy_examples import run_toy_example_1, run_toy_example_2
+
+__all__ = [
+    "EXPERIMENTS",
+    "EXTENSION_EXPERIMENTS",
+    "ExperimentResult",
+    "ShapeCheck",
+    "render_report",
+    "run_all",
+    "run_experiment",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_alpha_sensitivity",
+    "run_bandwidth_basis_sensitivity",
+    "run_burstiness_robustness",
+    "run_rack_scaling",
+    "run_toy_example_1",
+    "run_toy_example_2",
+]

@@ -1,0 +1,77 @@
+"""Experiment framework: one driver per paper figure/table.
+
+Each experiment returns an :class:`ExperimentResult` holding the regenerated
+rows, an ASCII rendering of the figure, and the outcome of its *shape
+checks* — machine-checkable assertions of the paper's qualitative claims
+(who wins, by roughly what factor), which absolute testbed-dependent numbers
+are excluded from (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+
+@dataclass(slots=True)
+class ShapeCheck:
+    """One qualitative assertion derived from the paper."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    rows: list[dict[str, Any]]
+    rendered: str
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def shape_ok(self) -> bool:
+        """True when every shape check passed."""
+        return all(check.passed for check in self.checks)
+
+    def check(self, description: str, passed: bool, detail: str = "") -> None:
+        """Record one shape check."""
+        self.checks.append(ShapeCheck(description, bool(passed), detail))
+
+    def report(self) -> str:
+        """Human-readable rendering including check outcomes."""
+        lines = [f"== {self.experiment_id}: {self.title} ==",
+                 f"(paper: {self.paper_reference})", "", self.rendered, ""]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            detail = f"  [{check.detail}]" if check.detail else ""
+            lines.append(f"[{mark}] {check.description}{detail}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "rows": self.rows,
+            "checks": [
+                {"description": c.description, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "shape_ok": self.shape_ok,
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Write the result as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+
+#: Signature every experiment driver exposes: ``run(quick: bool, seed: int)``.
+ExperimentDriver = Callable[..., ExperimentResult]

@@ -1,0 +1,82 @@
+"""Run every experiment and emit a consolidated report.
+
+``run_all`` is what ``python -m repro run-all`` and the benchmark harness
+build on; it returns results in paper order and can persist them as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Mapping
+
+from .base import ExperimentResult
+from .figures import (
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+from .sensitivity import EXTENSION_EXPERIMENTS
+from .toy_examples import run_toy_example_1, run_toy_example_2
+
+#: All experiment drivers in paper order.
+EXPERIMENTS: Mapping[str, Callable[..., ExperimentResult]] = {
+    "toy1": run_toy_example_1,
+    "toy2": run_toy_example_2,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    **EXTENSION_EXPERIMENTS,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {list(EXPERIMENTS)}"
+        ) from None
+    return driver(quick=quick, seed=seed)
+
+
+def run_all(
+    quick: bool = False,
+    seed: int = 0,
+    output_dir: str | Path | None = None,
+) -> list[ExperimentResult]:
+    """Run every experiment; optionally write JSON results per experiment."""
+    results = [driver(quick=quick, seed=seed) for driver in EXPERIMENTS.values()]
+    if output_dir is not None:
+        out = Path(output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            result.save(out / f"{result.experiment_id}.json")
+        summary = {
+            r.experiment_id: {"shape_ok": r.shape_ok, "title": r.title}
+            for r in results
+        }
+        (out / "summary.json").write_text(json.dumps(summary, indent=2))
+    return results
+
+
+def render_report(results: list[ExperimentResult]) -> str:
+    """One big human-readable report of all experiments."""
+    blocks = [result.report() for result in results]
+    passed = sum(result.shape_ok for result in results)
+    header = (
+        f"RISA reproduction — {passed}/{len(results)} experiments with all "
+        "shape checks passing\n" + "=" * 72
+    )
+    return header + "\n\n" + "\n\n".join(blocks)

@@ -1,0 +1,226 @@
+"""Extension experiments: sensitivity and robustness beyond the paper.
+
+The paper's claims rest on several constants it does not vary.  These
+drivers sweep them and check that RISA's advantages are structural:
+
+- ``run_alpha_sensitivity`` — Equation (1)'s cell-sharing factor alpha over
+  its admissible range [0.5, 1.0];
+- ``run_bandwidth_basis_sensitivity`` — the three readings of Table 2's
+  "per unit";
+- ``run_burstiness_robustness`` — Poisson vs MMPP vs diurnal arrivals
+  (Section 5.1 only evaluates Poisson);
+- ``run_rack_scaling`` — 9 to 36 racks (the Section 5.2 conjecture that
+  RISA's latency advantage persists at scale).
+"""
+
+from __future__ import annotations
+
+from ..analysis import compare_schedulers
+from ..config import EnergyConfig, NetworkConfig, paper_default, scaled
+from ..config.network import BandwidthBasis
+from ..workloads import SyntheticWorkloadParams, generate_synthetic, make_rng
+from ..workloads.arrival_models import (
+    MMPPParams,
+    diurnal_arrival_times,
+    mmpp_arrival_times,
+    with_arrivals,
+)
+from .base import ExperimentResult
+from .workload_cache import azure_workload, synthetic_workload
+
+
+def _power_pair(spec, vms) -> tuple[float, float]:
+    """(NULB kW, RISA kW) on a fresh cluster each."""
+    comparison = compare_schedulers(spec, vms, ("nulb", "risa"))
+    return (
+        comparison.summary("nulb").avg_optical_power_kw,
+        comparison.summary("risa").avg_optical_power_kw,
+    )
+
+
+def run_alpha_sensitivity(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Sweep alpha in [0.5, 1.0]; the power saving must stay ~1/3."""
+    vms = azure_workload(3000, quick=True, seed=seed)
+    rows = []
+    for alpha in (0.5, 0.7, 0.9, 1.0):
+        spec = paper_default().with_overrides(energy=EnergyConfig(alpha=alpha))
+        nulb_kw, risa_kw = _power_pair(spec, vms)
+        rows.append(
+            {
+                "alpha": alpha,
+                "nulb_kw": nulb_kw,
+                "risa_kw": risa_kw,
+                "saving_pct": 100.0 * (1 - risa_kw / nulb_kw),
+            }
+        )
+    rendered = "\n".join(
+        f"alpha={r['alpha']:.1f}: NULB {r['nulb_kw']:.3f} kW, "
+        f"RISA {r['risa_kw']:.3f} kW, saving {r['saving_pct']:.1f}%"
+        for r in rows
+    )
+    result = ExperimentResult(
+        "ext_alpha", "Power-saving sensitivity to the cell-sharing factor",
+        "extension of Figure 9 / Section 3.2", rows, rendered,
+    )
+    result.check(
+        "RISA's power saving stays within 20-50% across alpha in [0.5, 1.0]",
+        all(20.0 <= r["saving_pct"] <= 50.0 for r in rows),
+        f"savings={[round(r['saving_pct'], 1) for r in rows]}",
+    )
+    return result
+
+
+def run_bandwidth_basis_sensitivity(
+    quick: bool = False, seed: int = 0
+) -> ExperimentResult:
+    """Sweep the Table 2 'per unit' reading; shapes must be invariant."""
+    vms = azure_workload(3000, quick=True, seed=seed)
+    rows = []
+    for basis in BandwidthBasis:
+        spec = paper_default().with_overrides(
+            network=NetworkConfig(bandwidth_basis=basis)
+        )
+        comparison = compare_schedulers(spec, vms, ("nulb", "risa"))
+        rows.append(
+            {
+                "basis": basis.value,
+                "nulb_inter_pct": comparison.summary("nulb").inter_rack_percent,
+                "risa_inter_pct": comparison.summary("risa").inter_rack_percent,
+                "nulb_kw": comparison.summary("nulb").avg_optical_power_kw,
+                "risa_kw": comparison.summary("risa").avg_optical_power_kw,
+            }
+        )
+    rendered = "\n".join(
+        f"{r['basis']:>14s}: NULB inter {r['nulb_inter_pct']:.1f}% "
+        f"({r['nulb_kw']:.3f} kW), RISA inter {r['risa_inter_pct']:.1f}% "
+        f"({r['risa_kw']:.3f} kW)"
+        for r in rows
+    )
+    result = ExperimentResult(
+        "ext_basis", "Shape invariance to the Table 2 bandwidth basis",
+        "extension of Table 2 / Figure 9", rows, rendered,
+    )
+    result.check(
+        "RISA stays at 0% inter-rack under every bandwidth basis",
+        all(r["risa_inter_pct"] == 0.0 for r in rows),
+    )
+    result.check(
+        "RISA consumes less optical power than NULB under every basis",
+        all(r["risa_kw"] < r["nulb_kw"] for r in rows),
+    )
+    return result
+
+
+def run_burstiness_robustness(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Re-time the synthetic workload with bursty/diurnal arrivals."""
+    count = 600 if quick else 1500
+    base = generate_synthetic(SyntheticWorkloadParams(count=count), seed=seed)
+    spec = paper_default()
+    variants = {
+        "poisson": base,
+        "mmpp": with_arrivals(
+            base, mmpp_arrival_times(make_rng(seed), count, MMPPParams())
+        ),
+        "diurnal": with_arrivals(
+            base, diurnal_arrival_times(make_rng(seed), count)
+        ),
+    }
+    rows = []
+    for name, vms in variants.items():
+        comparison = compare_schedulers(spec, vms, ("nulb", "risa"))
+        rows.append(
+            {
+                "arrivals": name,
+                "nulb_inter": comparison.summary("nulb").inter_rack_assignments,
+                "risa_inter": comparison.summary("risa").inter_rack_assignments,
+                "nulb_drops": comparison.summary("nulb").dropped_vms,
+                "risa_drops": comparison.summary("risa").dropped_vms,
+                "risa_latency": comparison.summary("risa").avg_cpu_ram_latency_ns,
+            }
+        )
+    rendered = "\n".join(
+        f"{r['arrivals']:>8s}: NULB inter={r['nulb_inter']:4d} "
+        f"drops={r['nulb_drops']:3d} | RISA inter={r['risa_inter']:3d} "
+        f"drops={r['risa_drops']:3d} lat={r['risa_latency']:.1f} ns"
+        for r in rows
+    )
+    result = ExperimentResult(
+        "ext_burst", "Robustness of RISA's advantage to arrival burstiness",
+        "extension of Section 5.1", rows, rendered,
+    )
+    result.check(
+        "RISA makes fewer inter-rack assignments than NULB under every "
+        "arrival process",
+        all(r["risa_inter"] < r["nulb_inter"] for r in rows),
+    )
+    result.check(
+        "RISA never drops more VMs than it does under Poisson + 20%",
+        all(
+            r["risa_drops"] <= rows[0]["risa_drops"] * 1.2 + 20 for r in rows
+        ),
+        f"drops={[r['risa_drops'] for r in rows]}",
+    )
+    return result
+
+
+def run_rack_scaling(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Sweep cluster size; RISA's latency must stay at the intra-rack RTT."""
+    rack_counts = (9, 18) if quick else (9, 18, 36)
+    rows = []
+    for num_racks in rack_counts:
+        spec = scaled(num_racks)
+        count = (300 if quick else 900) * num_racks // 18 or 300
+        params = SyntheticWorkloadParams(
+            count=count, mean_interarrival=10.0 * 18 / num_racks
+        )
+        vms = generate_synthetic(params, seed=seed)
+        comparison = compare_schedulers(spec, vms, ("nulb", "risa"))
+        rows.append(
+            {
+                "racks": num_racks,
+                "nulb_latency": comparison.summary("nulb").avg_cpu_ram_latency_ns,
+                "risa_latency": comparison.summary("risa").avg_cpu_ram_latency_ns,
+                "nulb_inter": comparison.summary("nulb").inter_rack_assignments,
+                "risa_inter": comparison.summary("risa").inter_rack_assignments,
+            }
+        )
+    rendered = "\n".join(
+        f"racks={r['racks']:3d}: NULB lat={r['nulb_latency']:6.1f} ns "
+        f"(inter {r['nulb_inter']}), RISA lat={r['risa_latency']:6.1f} ns "
+        f"(inter {r['risa_inter']})"
+        for r in rows
+    )
+    result = ExperimentResult(
+        "ext_scale", "RISA's latency advantage across cluster sizes",
+        "Section 5.2 conjecture", rows, rendered,
+    )
+    result.check(
+        "RISA's average latency stays within 5% of the intra-rack RTT at "
+        "every scale",
+        all(r["risa_latency"] <= 115.5 for r in rows),
+        f"latencies={[round(r['risa_latency'], 1) for r in rows]}",
+    )
+    result.check(
+        "RISA beats NULB on latency at every scale",
+        all(r["risa_latency"] <= r["nulb_latency"] for r in rows),
+    )
+    return result
+
+
+#: All extension experiments keyed by id.
+EXTENSION_EXPERIMENTS = {
+    "ext_alpha": run_alpha_sensitivity,
+    "ext_basis": run_bandwidth_basis_sensitivity,
+    "ext_burst": run_burstiness_robustness,
+    "ext_scale": run_rack_scaling,
+}
+
+
+# Re-export for workload reuse by benches/tests.
+__all__ = [
+    "EXTENSION_EXPERIMENTS",
+    "run_alpha_sensitivity",
+    "run_bandwidth_basis_sensitivity",
+    "run_burstiness_robustness",
+    "run_rack_scaling",
+]

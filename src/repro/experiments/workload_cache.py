@@ -1,0 +1,52 @@
+"""Shared workload construction for the experiment drivers.
+
+``quick=True`` shrinks workloads (for CI-speed tests and pytest-benchmark
+warmup) while preserving the dynamics that produce the paper's shapes; the
+full sizes match the paper exactly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..workloads import (
+    SyntheticWorkloadParams,
+    VMRequest,
+    generate_synthetic,
+    synthesize_azure,
+)
+
+#: Quick-mode sizes: enough VMs for the steady-state shapes to emerge.
+QUICK_SYNTHETIC_COUNT = 800
+QUICK_AZURE_SUBSET = 3000
+
+
+def synthetic_workload(quick: bool = False, seed: int = 0) -> list[VMRequest]:
+    """The Section 5.1 synthetic trace (2500 VMs full, 800 quick)."""
+    return _synthetic_cached(quick, seed)
+
+
+@lru_cache(maxsize=8)
+def _synthetic_cached(quick: bool, seed: int) -> list[VMRequest]:
+    if quick:
+        params = SyntheticWorkloadParams(count=QUICK_SYNTHETIC_COUNT)
+        return generate_synthetic(params, seed=seed)
+    return generate_synthetic(seed=seed)
+
+
+def azure_workload(subset: int, quick: bool = False, seed: int = 0) -> list[VMRequest]:
+    """An Azure-calibrated trace; quick mode truncates to the first third."""
+    vms = _azure_cached(subset, seed)
+    if quick:
+        return vms[: max(500, subset // 3)]
+    return vms
+
+
+@lru_cache(maxsize=8)
+def _azure_cached(subset: int, seed: int) -> tuple[VMRequest, ...]:
+    return tuple(synthesize_azure(subset, seed=seed))
+
+
+def azure_subsets(quick: bool = False) -> tuple[int, ...]:
+    """Subsets evaluated; quick mode keeps just Azure-3000."""
+    return (QUICK_AZURE_SUBSET,) if quick else (3000, 5000, 7500)

@@ -1,0 +1,13 @@
+"""Metric collection and summarization for simulation runs."""
+
+from .collector import MetricsCollector, VMRecord
+from .gauges import TimeWeightedGauge
+from .summary import RunSummary, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "RunSummary",
+    "TimeWeightedGauge",
+    "VMRecord",
+    "summarize",
+]

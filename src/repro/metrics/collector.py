@@ -1,0 +1,162 @@
+"""Per-run metric collection.
+
+One :class:`MetricsCollector` accompanies one (scheduler, workload) run and
+accumulates everything the paper's figures need: per-VM placement records
+(Figures 5, 7, 10), time-weighted network/compute utilization (Figure 8 and
+the Section 5.1 utilization quotes), optical energy (Figure 9), and the
+scheduler-only wall-clock time (Figures 11-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ClusterSpec
+from ..network import NetworkFabric
+from ..photonics import PowerReport
+from ..schedulers import Placement
+from ..topology import Cluster
+from ..types import RESOURCE_ORDER, LinkTier, ResourceType
+from ..workloads import ResolvedRequest
+from .gauges import TimeWeightedGauge
+
+
+@dataclass(frozen=True, slots=True)
+class VMRecord:
+    """Outcome of one VM request."""
+
+    vm_id: int
+    arrival: float
+    lifetime: float
+    scheduled: bool
+    intra_rack: bool
+    cpu_ram_intra: bool
+    racks_spanned: int
+    racks: tuple[int, ...]
+    cpu_ram_latency_ns: float | None
+    optical_energy_j: float
+
+
+@dataclass(slots=True)
+class MetricsCollector:
+    """Accumulates a run's records, gauges, energy, and timing."""
+
+    spec: ClusterSpec
+    cluster: Cluster
+    fabric: NetworkFabric
+    records: list[VMRecord] = field(default_factory=list)
+    power: PowerReport = field(init=False)
+    scheduler_time_s: float = 0.0
+    first_arrival: float | None = None
+    last_event_time: float = 0.0
+    _gauges: dict[str, TimeWeightedGauge] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.power = PowerReport(energy_config=self.spec.energy)
+        self._gauges = {
+            "intra_net": TimeWeightedGauge(),
+            "inter_net": TimeWeightedGauge(),
+            "cpu": TimeWeightedGauge(),
+            "ram": TimeWeightedGauge(),
+            "storage": TimeWeightedGauge(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Event hooks
+    # ------------------------------------------------------------------ #
+
+    def _sample_gauges(self, now: float) -> None:
+        """Refresh every gauge from cluster/fabric state at ``now``."""
+        self._gauges["intra_net"].update(now, self.fabric.tier_utilization(LinkTier.INTRA_RACK))
+        self._gauges["inter_net"].update(now, self.fabric.tier_utilization(LinkTier.INTER_RACK))
+        self._gauges["cpu"].update(now, self.cluster.utilization(ResourceType.CPU))
+        self._gauges["ram"].update(now, self.cluster.utilization(ResourceType.RAM))
+        self._gauges["storage"].update(now, self.cluster.utilization(ResourceType.STORAGE))
+        self.last_event_time = max(self.last_event_time, now)
+
+    def _note_arrival(self, now: float) -> None:
+        if self.first_arrival is None:
+            self.first_arrival = now
+            for gauge in self._gauges.values():
+                # Restart gauge windows at the first arrival so idle lead-in
+                # time does not dilute the averages.
+                gauge.__init__(0.0, now)
+
+    def record_assignment(self, placement: Placement, now: float) -> None:
+        """Record a successful placement (after the scheduler committed)."""
+        self._note_arrival(now)
+        request = placement.request
+        energy = self.power.record_vm(
+            request.vm_id, list(placement.circuits), request.vm.lifetime
+        )
+        latency = self.spec.latency.cpu_ram_rtt_ns(placement.cpu_ram_intra)
+        self.records.append(
+            VMRecord(
+                vm_id=request.vm_id,
+                arrival=request.vm.arrival,
+                lifetime=request.vm.lifetime,
+                scheduled=True,
+                intra_rack=placement.intra_rack,
+                cpu_ram_intra=placement.cpu_ram_intra,
+                racks_spanned=len(placement.racks),
+                racks=tuple(sorted(placement.racks)),
+                cpu_ram_latency_ns=latency,
+                optical_energy_j=energy.total_j,
+            )
+        )
+        self._sample_gauges(now)
+
+    def record_drop(self, request: ResolvedRequest, now: float) -> None:
+        """Record a dropped VM."""
+        self._note_arrival(now)
+        self.records.append(
+            VMRecord(
+                vm_id=request.vm_id,
+                arrival=request.vm.arrival,
+                lifetime=request.vm.lifetime,
+                scheduled=False,
+                intra_rack=False,
+                cpu_ram_intra=False,
+                racks_spanned=0,
+                racks=(),
+                cpu_ram_latency_ns=None,
+                optical_energy_j=0.0,
+            )
+        )
+        self._sample_gauges(now)
+
+    def record_release(self, now: float) -> None:
+        """Record a departure (gauges drop)."""
+        self._sample_gauges(now)
+
+    def add_scheduler_time(self, seconds: float) -> None:
+        """Accumulate wall-clock time spent inside scheduler decisions."""
+        self.scheduler_time_s += seconds
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def makespan(self) -> float:
+        """Time from the first arrival to the last recorded event."""
+        if self.first_arrival is None:
+            return 0.0
+        return self.last_event_time - self.first_arrival
+
+    def average_utilization(self, gauge: str) -> float:
+        """Time-weighted average of one gauge over the run so far."""
+        return self._gauges[gauge].average()
+
+    def peak_utilization(self, gauge: str) -> float:
+        """Peak value of one gauge."""
+        return self._gauges[gauge].peak
+
+    def gauge_names(self) -> tuple[str, ...]:
+        """Names accepted by :meth:`average_utilization`."""
+        return tuple(self._gauges)
+
+    def compute_utilization_averages(self) -> dict[ResourceType, float]:
+        """Time-weighted compute utilization per resource type."""
+        keys = {ResourceType.CPU: "cpu", ResourceType.RAM: "ram", ResourceType.STORAGE: "storage"}
+        return {t: self.average_utilization(keys[t]) for t in RESOURCE_ORDER}

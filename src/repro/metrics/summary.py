@@ -1,0 +1,83 @@
+"""Run summaries — the figure-level quantities, one dataclass per run.
+
+:func:`summarize` reduces a :class:`~repro.metrics.collector.MetricsCollector`
+to the scalar metrics every paper figure reports, with NumPy doing the
+vectorized reductions over per-VM records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..types import ResourceType
+from .collector import MetricsCollector
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """Scalar outcomes of one (scheduler, workload) simulation run."""
+
+    scheduler: str
+    total_vms: int
+    scheduled_vms: int
+    dropped_vms: int
+    inter_rack_assignments: int
+    inter_rack_percent: float
+    avg_cpu_ram_latency_ns: float
+    avg_intra_net_utilization: float
+    avg_inter_net_utilization: float
+    peak_intra_net_utilization: float
+    peak_inter_net_utilization: float
+    avg_cpu_utilization: float
+    avg_ram_utilization: float
+    avg_storage_utilization: float
+    total_optical_energy_j: float
+    switch_energy_j: float
+    transceiver_energy_j: float
+    avg_optical_power_kw: float
+    scheduler_time_s: float
+    makespan: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return asdict(self)
+
+
+def summarize(scheduler_name: str, collector: MetricsCollector) -> RunSummary:
+    """Reduce a collector to a :class:`RunSummary`."""
+    records = collector.records
+    total = len(records)
+    scheduled = [r for r in records if r.scheduled]
+    dropped = total - len(scheduled)
+    inter = sum(1 for r in scheduled if not r.intra_rack)
+    latencies = np.array(
+        [r.cpu_ram_latency_ns for r in scheduled if r.cpu_ram_latency_ns is not None],
+        dtype=float,
+    )
+    avg_latency = float(latencies.mean()) if latencies.size else 0.0
+    compute = collector.compute_utilization_averages()
+    makespan = collector.makespan
+    return RunSummary(
+        scheduler=scheduler_name,
+        total_vms=total,
+        scheduled_vms=len(scheduled),
+        dropped_vms=dropped,
+        inter_rack_assignments=inter,
+        inter_rack_percent=100.0 * inter / total if total else 0.0,
+        avg_cpu_ram_latency_ns=avg_latency,
+        avg_intra_net_utilization=collector.average_utilization("intra_net"),
+        avg_inter_net_utilization=collector.average_utilization("inter_net"),
+        peak_intra_net_utilization=collector.peak_utilization("intra_net"),
+        peak_inter_net_utilization=collector.peak_utilization("inter_net"),
+        avg_cpu_utilization=compute[ResourceType.CPU],
+        avg_ram_utilization=compute[ResourceType.RAM],
+        avg_storage_utilization=compute[ResourceType.STORAGE],
+        total_optical_energy_j=collector.power.total_energy_j,
+        switch_energy_j=collector.power.switch_energy_j,
+        transceiver_energy_j=collector.power.transceiver_energy_j,
+        avg_optical_power_kw=collector.power.average_power_kw(makespan),
+        scheduler_time_s=collector.scheduler_time_s,
+        makespan=makespan,
+    )

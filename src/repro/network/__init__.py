@@ -1,0 +1,15 @@
+"""Two-tier optical network fabric with circuit-level bandwidth accounting."""
+
+from .bundle import LinkBundle, LinkSelectionPolicy
+from .circuit import Circuit
+from .fabric import NetworkFabric
+from .link import BANDWIDTH_EPS, Link
+
+__all__ = [
+    "BANDWIDTH_EPS",
+    "Circuit",
+    "Link",
+    "LinkBundle",
+    "LinkSelectionPolicy",
+    "NetworkFabric",
+]

@@ -1,0 +1,78 @@
+"""Parallel-link bundles and link-selection policies.
+
+Adjacent switches are connected by several parallel 200 Gb/s links.  The
+baselines differ in how they pick one: NULB takes "the first available link",
+NALB "the link with the most available bandwidth" (Section 4.1).  Both
+policies are exposed here so schedulers can request either.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import NetworkAllocationError
+from .link import BANDWIDTH_EPS, Link
+
+
+class LinkSelectionPolicy(enum.Enum):
+    """How to choose a link within a bundle for a new circuit."""
+
+    FIRST_FIT = "first_fit"  # NULB semantics
+    MOST_AVAILABLE = "most_available"  # NALB semantics
+
+
+class LinkBundle:
+    """An ordered group of parallel links between the same two switches."""
+
+    __slots__ = ("name", "links", "_capacity_gbps")
+
+    def __init__(self, name: str, links: list[Link]) -> None:
+        if not links:
+            raise NetworkAllocationError(f"bundle {name} has no links")
+        self.name = name
+        self.links = links
+        self._capacity_gbps = sum(l.capacity_gbps for l in links)
+
+    @property
+    def capacity_gbps(self) -> float:
+        """Aggregate capacity across the bundle."""
+        return self._capacity_gbps
+
+    @property
+    def used_gbps(self) -> float:
+        """Aggregate reserved bandwidth across the bundle."""
+        return sum(l.used_gbps for l in self.links)
+
+    @property
+    def avail_gbps(self) -> float:
+        """Aggregate available bandwidth across the bundle."""
+        return self._capacity_gbps - self.used_gbps
+
+    def max_link_avail_gbps(self) -> float:
+        """Availability of the emptiest link (what a new circuit could get)."""
+        return max(l.avail_gbps for l in self.links)
+
+    def can_fit(self, demand_gbps: float) -> bool:
+        """True when *some single link* can carry ``demand_gbps`` (circuits
+        are not split across links)."""
+        return any(l.can_fit(demand_gbps) for l in self.links)
+
+    def select(self, demand_gbps: float, policy: LinkSelectionPolicy) -> Link | None:
+        """Pick a link able to carry ``demand_gbps`` under ``policy``;
+        returns None when no single link fits (does not reserve)."""
+        if policy is LinkSelectionPolicy.FIRST_FIT:
+            for link in self.links:
+                if link.can_fit(demand_gbps):
+                    return link
+            return None
+        best: Link | None = None
+        best_avail = -1.0
+        for link in self.links:
+            avail = link.avail_gbps
+            if avail > best_avail + BANDWIDTH_EPS and link.can_fit(demand_gbps):
+                best = link
+                best_avail = avail
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinkBundle({self.name}, {len(self.links)} links)"

@@ -1,0 +1,36 @@
+"""Circuit records — one reserved end-to-end optical path per VM flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .link import Link
+
+
+@dataclass(frozen=True, slots=True)
+class Circuit:
+    """A committed bandwidth reservation along a switch path.
+
+    Attributes
+    ----------
+    links:
+        The concrete links carrying the circuit (one per bundle hop).
+    demand_gbps:
+        Reserved bandwidth on each link.
+    switch_ports:
+        Radix of every optical switch the path traverses, in order — the
+        input to the Beneš energy model (e.g. intra-rack CPU->RAM flow:
+        ``(64, 256, 64)``; inter-rack: ``(64, 256, 512, 256, 64)``).
+    intra_rack:
+        True when both endpoints sit in the same rack.
+    """
+
+    links: tuple[Link, ...]
+    demand_gbps: float
+    switch_ports: tuple[int, ...]
+    intra_rack: bool
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.links)

@@ -1,0 +1,238 @@
+"""The two-tier optical fabric of the DDC (Figures 2-3).
+
+Topology: every box switch connects to its rack's intra-rack switch through a
+bundle of parallel links ("intra-rack" tier); every rack switch connects to
+the single inter-rack switch through another bundle ("inter-rack" tier).  A
+flow between two boxes therefore takes:
+
+- same rack:     box A -> rack switch -> box B            (2 links, 3 switches)
+- across racks:  box A -> rack A -> inter -> rack B -> box B
+                                                          (4 links, 5 switches)
+
+Circuit allocation is atomic: either every hop reserves bandwidth or nothing
+does.  Per-tier used-bandwidth counters are maintained incrementally so
+utilization sampling is O(1) — the quantity plotted in Figure 8.
+"""
+
+from __future__ import annotations
+
+from ..config import ClusterSpec
+from ..errors import NetworkAllocationError, TopologyError
+from ..topology import Cluster
+from ..types import LinkTier
+from .bundle import LinkBundle, LinkSelectionPolicy
+from .circuit import Circuit
+from .link import Link
+
+
+class NetworkFabric:
+    """Bandwidth state of the whole optical network."""
+
+    __slots__ = (
+        "spec",
+        "_box_bundles",
+        "_rack_bundles",
+        "_tier_capacity",
+        "_tier_used",
+        "_box_rack",
+    )
+
+    def __init__(self, spec: ClusterSpec, cluster: Cluster) -> None:
+        self.spec = spec
+        net = spec.network
+        self._box_bundles: dict[int, LinkBundle] = {}
+        self._rack_bundles: dict[int, LinkBundle] = {}
+        self._box_rack: dict[int, int] = {}
+        self._tier_capacity = {LinkTier.INTRA_RACK: 0.0, LinkTier.INTER_RACK: 0.0}
+        self._tier_used = {LinkTier.INTRA_RACK: 0.0, LinkTier.INTER_RACK: 0.0}
+
+        next_link_id = 0
+        for box in cluster.all_boxes():
+            links = []
+            for _ in range(net.box_uplinks):
+                links.append(
+                    Link(
+                        link_id=next_link_id,
+                        tier=LinkTier.INTRA_RACK,
+                        capacity_gbps=net.link_bandwidth_gbps,
+                        a=f"box:{box.box_id}",
+                        b=f"rack:{box.rack_index}",
+                    )
+                )
+                next_link_id += 1
+            bundle = LinkBundle(name=f"box{box.box_id}-rack{box.rack_index}", links=links)
+            self._box_bundles[box.box_id] = bundle
+            self._box_rack[box.box_id] = box.rack_index
+            self._tier_capacity[LinkTier.INTRA_RACK] += bundle.capacity_gbps
+        for rack in cluster.racks:
+            links = []
+            for _ in range(net.rack_uplinks):
+                links.append(
+                    Link(
+                        link_id=next_link_id,
+                        tier=LinkTier.INTER_RACK,
+                        capacity_gbps=net.link_bandwidth_gbps,
+                        a=f"rack:{rack.index}",
+                        b="inter",
+                    )
+                )
+                next_link_id += 1
+            bundle = LinkBundle(name=f"rack{rack.index}-inter", links=links)
+            self._rack_bundles[rack.index] = bundle
+            self._tier_capacity[LinkTier.INTER_RACK] += bundle.capacity_gbps
+
+    # ------------------------------------------------------------------ #
+    # Path construction
+    # ------------------------------------------------------------------ #
+
+    def box_bundle(self, box_id: int) -> LinkBundle:
+        """The box<->rack-switch bundle of one box."""
+        try:
+            return self._box_bundles[box_id]
+        except KeyError:
+            raise TopologyError(f"no bundle for box {box_id}") from None
+
+    def rack_bundle(self, rack_index: int) -> LinkBundle:
+        """The rack-switch<->inter-rack-switch bundle of one rack."""
+        try:
+            return self._rack_bundles[rack_index]
+        except KeyError:
+            raise TopologyError(f"no bundle for rack {rack_index}") from None
+
+    def path_bundles(self, box_a: int, box_b: int) -> tuple[list[LinkBundle], tuple[int, ...], bool]:
+        """Bundles and switch radices along the flow path between two boxes.
+
+        Returns ``(bundles, switch_ports, intra_rack)``.
+        """
+        if box_a == box_b:
+            raise NetworkAllocationError(
+                f"flow endpoints must differ (both box {box_a}); boxes hold a "
+                "single resource type so intra-box flows cannot occur"
+            )
+        net = self.spec.network
+        rack_a = self._box_rack[box_a]
+        rack_b = self._box_rack[box_b]
+        if rack_a == rack_b:
+            bundles = [self._box_bundles[box_a], self._box_bundles[box_b]]
+            ports = (net.box_switch_ports, net.rack_switch_ports, net.box_switch_ports)
+            return bundles, ports, True
+        bundles = [
+            self._box_bundles[box_a],
+            self._rack_bundles[rack_a],
+            self._rack_bundles[rack_b],
+            self._box_bundles[box_b],
+        ]
+        ports = (
+            net.box_switch_ports,
+            net.rack_switch_ports,
+            net.inter_rack_switch_ports,
+            net.rack_switch_ports,
+            net.box_switch_ports,
+        )
+        return bundles, ports, False
+
+    # ------------------------------------------------------------------ #
+    # Feasibility checks (no mutation)
+    # ------------------------------------------------------------------ #
+
+    def can_allocate_flow(self, box_a: int, box_b: int, demand_gbps: float) -> bool:
+        """True when every hop of the path could carry the demand now.
+
+        Note: concurrent flows on shared bundles are not double-counted here;
+        use :meth:`allocate_flows` for an atomic multi-flow commit.
+        """
+        if demand_gbps <= 0:
+            return True
+        bundles, _, _ = self.path_bundles(box_a, box_b)
+        return all(b.can_fit(demand_gbps) for b in bundles)
+
+    # ------------------------------------------------------------------ #
+    # Allocation / release
+    # ------------------------------------------------------------------ #
+
+    def allocate_flow(
+        self,
+        box_a: int,
+        box_b: int,
+        demand_gbps: float,
+        policy: LinkSelectionPolicy = LinkSelectionPolicy.FIRST_FIT,
+    ) -> Circuit | None:
+        """Reserve ``demand_gbps`` along the path between two boxes.
+
+        Returns the committed :class:`Circuit`, or None when some hop cannot
+        fit the demand (nothing is reserved in that case).  A zero-demand
+        flow still produces a circuit (it traverses switches and counts for
+        the energy model) but reserves no bandwidth.
+        """
+        bundles, ports, intra = self.path_bundles(box_a, box_b)
+        chosen: list[Link] = []
+        for bundle in bundles:
+            link = bundle.select(demand_gbps, policy)
+            if link is None:
+                return None
+            chosen.append(link)
+        for link in chosen:
+            link.reserve(demand_gbps)
+            self._tier_used[link.tier] += demand_gbps
+        return Circuit(
+            links=tuple(chosen),
+            demand_gbps=demand_gbps,
+            switch_ports=ports,
+            intra_rack=intra,
+        )
+
+    def allocate_flows(
+        self,
+        flows: list[tuple[int, int, float]],
+        policy: LinkSelectionPolicy = LinkSelectionPolicy.FIRST_FIT,
+    ) -> list[Circuit] | None:
+        """Atomically reserve several flows ``(box_a, box_b, demand_gbps)``.
+
+        Either all flows commit (circuits returned in order) or none do
+        (returns None).  Sequential commit order makes shared-bundle
+        contention between the flows visible, then rolls back on failure.
+        """
+        circuits: list[Circuit] = []
+        for box_a, box_b, demand in flows:
+            circuit = self.allocate_flow(box_a, box_b, demand, policy)
+            if circuit is None:
+                for done in circuits:
+                    self.release(done)
+                return None
+            circuits.append(circuit)
+        return circuits
+
+    def release(self, circuit: Circuit) -> None:
+        """Return a circuit's bandwidth on every hop."""
+        for link in circuit.links:
+            link.free(circuit.demand_gbps)
+            self._tier_used[link.tier] -= circuit.demand_gbps
+            if self._tier_used[link.tier] < 0:
+                self._tier_used[link.tier] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Utilization (Figure 8 quantities)
+    # ------------------------------------------------------------------ #
+
+    def tier_capacity_gbps(self, tier: LinkTier) -> float:
+        """Aggregate capacity of one link tier."""
+        return self._tier_capacity[tier]
+
+    def tier_used_gbps(self, tier: LinkTier) -> float:
+        """Aggregate reserved bandwidth of one link tier (O(1))."""
+        return self._tier_used[tier]
+
+    def tier_utilization(self, tier: LinkTier) -> float:
+        """Fraction of one tier's capacity currently reserved."""
+        cap = self._tier_capacity[tier]
+        if cap == 0:
+            return 0.0
+        return self._tier_used[tier] / cap
+
+    def intra_rack_utilization(self) -> float:
+        """Intra-rack (box<->rack-switch) tier utilization."""
+        return self.tier_utilization(LinkTier.INTRA_RACK)
+
+    def inter_rack_utilization(self) -> float:
+        """Inter-rack (rack-switch<->inter-rack-switch) tier utilization."""
+        return self.tier_utilization(LinkTier.INTER_RACK)

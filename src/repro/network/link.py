@@ -1,0 +1,72 @@
+"""Optical links with bandwidth accounting.
+
+Each link models one SiP module pair: 200 Gb/s of circuit-switched capacity
+(Section 3.1).  Bandwidth is reserved per VM flow and returned on departure;
+a small epsilon absorbs float rounding in repeated reserve/release cycles.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetworkAllocationError
+from ..types import LinkTier
+
+#: Tolerance for floating-point bandwidth comparisons (Gb/s).
+BANDWIDTH_EPS = 1e-9
+
+
+class Link:
+    """A single optical link between two switches."""
+
+    __slots__ = ("link_id", "tier", "capacity_gbps", "used_gbps", "a", "b")
+
+    def __init__(
+        self, link_id: int, tier: LinkTier, capacity_gbps: float, a: str, b: str
+    ) -> None:
+        if capacity_gbps <= 0:
+            raise NetworkAllocationError(
+                f"link capacity must be positive, got {capacity_gbps}"
+            )
+        self.link_id = link_id
+        self.tier = tier
+        self.capacity_gbps = capacity_gbps
+        self.used_gbps = 0.0
+        self.a = a
+        self.b = b
+
+    @property
+    def avail_gbps(self) -> float:
+        """Remaining capacity on this link."""
+        return self.capacity_gbps - self.used_gbps
+
+    def can_fit(self, demand_gbps: float) -> bool:
+        """True when ``demand_gbps`` can be reserved right now."""
+        return demand_gbps <= self.avail_gbps + BANDWIDTH_EPS
+
+    def reserve(self, demand_gbps: float) -> None:
+        """Reserve bandwidth; raises :class:`NetworkAllocationError` when the
+        link cannot fit the demand."""
+        if demand_gbps < 0:
+            raise NetworkAllocationError(f"negative demand: {demand_gbps}")
+        if not self.can_fit(demand_gbps):
+            raise NetworkAllocationError(
+                f"link {self.link_id}: demand {demand_gbps} Gb/s exceeds "
+                f"available {self.avail_gbps} Gb/s"
+            )
+        self.used_gbps = min(self.capacity_gbps, self.used_gbps + demand_gbps)
+
+    def free(self, demand_gbps: float) -> None:
+        """Return previously reserved bandwidth."""
+        if demand_gbps < 0:
+            raise NetworkAllocationError(f"negative demand: {demand_gbps}")
+        if demand_gbps > self.used_gbps + BANDWIDTH_EPS:
+            raise NetworkAllocationError(
+                f"link {self.link_id}: freeing {demand_gbps} Gb/s but only "
+                f"{self.used_gbps} Gb/s reserved"
+            )
+        self.used_gbps = max(0.0, self.used_gbps - demand_gbps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link({self.link_id}, {self.a}<->{self.b}, "
+            f"{self.used_gbps:.1f}/{self.capacity_gbps:.0f} Gb/s)"
+        )

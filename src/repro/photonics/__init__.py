@@ -1,0 +1,27 @@
+"""Photonic component models: Beneš fabrics, MRR switch energy, transceivers."""
+
+from .benes import cells_per_stage, path_cells, stages, total_cells
+from .power_report import PowerReport, VMOpticalEnergy, vm_optical_energy
+from .switch_energy import (
+    path_switch_energy_j,
+    switch_energy_j,
+    switch_reconfig_energy_j,
+    switch_trim_power_w,
+)
+from .transceiver import transceiver_energy_j, transceiver_power_w
+
+__all__ = [
+    "PowerReport",
+    "VMOpticalEnergy",
+    "cells_per_stage",
+    "path_cells",
+    "path_switch_energy_j",
+    "stages",
+    "switch_energy_j",
+    "switch_reconfig_energy_j",
+    "switch_trim_power_w",
+    "total_cells",
+    "transceiver_energy_j",
+    "transceiver_power_w",
+    "vm_optical_energy",
+]

@@ -1,0 +1,50 @@
+"""Beneš switch-fabric combinatorics.
+
+A rearrangeably non-blocking Beneš network over ``P = 2^k`` ports has
+``2k - 1`` stages of ``P/2`` two-by-two cells each (Lee & Dupuis 2019,
+paper ref [10]).  A path from any input to any output crosses exactly one
+cell per stage, i.e. ``2*log2(P) - 1`` cells — the ``n`` of the paper's
+Equation (1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def _check_ports(ports: int) -> int:
+    """Validate a Beneš radix and return log2(ports)."""
+    if ports < 2:
+        raise ConfigurationError(f"Beneš switch needs >= 2 ports, got {ports}")
+    k = math.log2(ports)
+    if k != int(k):
+        raise ConfigurationError(
+            f"Beneš radix must be a power of two, got {ports}"
+        )
+    return int(k)
+
+
+def stages(ports: int) -> int:
+    """Number of cell stages in a ``ports``-port Beneš network."""
+    return 2 * _check_ports(ports) - 1
+
+
+def cells_per_stage(ports: int) -> int:
+    """2x2 cells in each stage."""
+    _check_ports(ports)
+    return ports // 2
+
+
+def total_cells(ports: int) -> int:
+    """Total 2x2 cells in the fabric: (P/2) * (2*log2(P) - 1)."""
+    return cells_per_stage(ports) * stages(ports)
+
+
+def path_cells(ports: int) -> int:
+    """Cells crossed by one input->output path (= number of stages).
+
+    This is the ``n`` used in Equation (1) of the paper.
+    """
+    return stages(ports)

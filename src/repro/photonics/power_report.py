@@ -1,0 +1,96 @@
+"""Aggregate optical energy/power accounting for a scheduled workload.
+
+Figure 9 reports "power consumption for optical components": transceiver
+power plus total optical switch power (box + intra-rack + inter-rack).  We
+accumulate per-VM energy at assignment time (the lifetime is known) and
+report the workload's average optical power as total energy over makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import EnergyConfig
+from ..network import Circuit
+from .switch_energy import path_switch_energy_j
+from .transceiver import transceiver_energy_j
+
+
+@dataclass(slots=True)
+class VMOpticalEnergy:
+    """Energy breakdown for one VM's circuits."""
+
+    vm_id: int
+    switch_energy_j: float
+    transceiver_energy_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Switch plus transceiver energy."""
+        return self.switch_energy_j + self.transceiver_energy_j
+
+
+def vm_optical_energy(
+    vm_id: int,
+    circuits: list[Circuit],
+    lifetime_time_units: float,
+    energy: EnergyConfig,
+) -> VMOpticalEnergy:
+    """Equation (1) plus transceiver energy over all of a VM's circuits."""
+    lifetime_s = lifetime_time_units * energy.seconds_per_time_unit
+    switch_j = 0.0
+    tx_j = 0.0
+    for circuit in circuits:
+        switch_j += path_switch_energy_j(circuit.switch_ports, lifetime_s, energy)
+        tx_j += transceiver_energy_j(
+            circuit.demand_gbps, lifetime_s, circuit.hop_count, energy
+        )
+    return VMOpticalEnergy(
+        vm_id=vm_id, switch_energy_j=switch_j, transceiver_energy_j=tx_j
+    )
+
+
+@dataclass(slots=True)
+class PowerReport:
+    """Workload-level accumulator of optical energy.
+
+    ``average_power_w(makespan)`` divides accumulated energy by the workload
+    makespan (in time units) to yield the Figure 9 quantity.
+    """
+
+    energy_config: EnergyConfig
+    switch_energy_j: float = 0.0
+    transceiver_energy_j: float = 0.0
+    per_vm: list[VMOpticalEnergy] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        """All optical energy recorded so far."""
+        return self.switch_energy_j + self.transceiver_energy_j
+
+    def record(self, entry: VMOpticalEnergy) -> None:
+        """Add one VM's energy to the totals."""
+        self.per_vm.append(entry)
+        self.switch_energy_j += entry.switch_energy_j
+        self.transceiver_energy_j += entry.transceiver_energy_j
+
+    def record_vm(
+        self, vm_id: int, circuits: list[Circuit], lifetime_time_units: float
+    ) -> VMOpticalEnergy:
+        """Compute and record one VM's optical energy."""
+        entry = vm_optical_energy(
+            vm_id, circuits, lifetime_time_units, self.energy_config
+        )
+        self.record(entry)
+        return entry
+
+    def average_power_w(self, makespan_time_units: float) -> float:
+        """Average optical power over the workload (watts)."""
+        if makespan_time_units <= 0:
+            return 0.0
+        seconds = makespan_time_units * self.energy_config.seconds_per_time_unit
+        return self.total_energy_j / seconds
+
+    def average_power_kw(self, makespan_time_units: float) -> float:
+        """Average optical power in kilowatts (the Figure 9 unit)."""
+        return self.average_power_w(makespan_time_units) / 1e3

@@ -1,0 +1,47 @@
+"""Per-VM optical switch energy — Equation (1) of the paper.
+
+For each switch a VM's circuit traverses, with ``n = path_cells(P)`` MRR
+cells along the path:
+
+    E_sw = (n/2) * P_sw_cell * lat_sw(P)  +  alpha * n * P_trim_cell * T
+
+The first term is the one-off reconfiguration energy (half the path's cells
+are assumed to change state); the second is the trimming energy integrated
+over the VM lifetime ``T``, discounted by the sharing factor ``alpha``
+(two circuits can share a cell, so 0.5 <= alpha <= 1; the paper uses 0.9).
+"""
+
+from __future__ import annotations
+
+from ..config import EnergyConfig
+from .benes import path_cells
+
+
+def switch_energy_j(
+    ports: int, lifetime_s: float, energy: EnergyConfig
+) -> float:
+    """Energy (joules) one circuit costs in one ``ports``-port switch."""
+    if lifetime_s < 0:
+        raise ValueError(f"lifetime must be >= 0, got {lifetime_s}")
+    n = path_cells(ports)
+    reconfig = (n / 2.0) * energy.p_sw_cell_w * energy.switch_latency_s(ports)
+    trimming = energy.alpha * n * energy.p_trim_cell_w * lifetime_s
+    return reconfig + trimming
+
+
+def switch_reconfig_energy_j(ports: int, energy: EnergyConfig) -> float:
+    """Only the one-off reconfiguration term of Equation (1)."""
+    n = path_cells(ports)
+    return (n / 2.0) * energy.p_sw_cell_w * energy.switch_latency_s(ports)
+
+
+def switch_trim_power_w(ports: int, energy: EnergyConfig) -> float:
+    """Steady-state trimming power one circuit draws in one switch."""
+    return energy.alpha * path_cells(ports) * energy.p_trim_cell_w
+
+
+def path_switch_energy_j(
+    switch_ports: tuple[int, ...], lifetime_s: float, energy: EnergyConfig
+) -> float:
+    """Equation (1) summed over every switch along a circuit's path."""
+    return sum(switch_energy_j(p, lifetime_s, energy) for p in switch_ports)

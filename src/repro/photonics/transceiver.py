@@ -1,0 +1,35 @@
+"""Transceiver energy: 22.5 pJ/bit per link traversal (Section 3.1).
+
+Every link a circuit crosses implies one SiP transceiver pair converting the
+signal between the electronic and photonic domains.  We charge the paper's
+22.5 pJ/bit figure once per link traversed; the bits moved are the circuit's
+reserved bandwidth integrated over the VM lifetime.
+"""
+
+from __future__ import annotations
+
+from ..config import EnergyConfig
+
+
+def transceiver_energy_j(
+    demand_gbps: float,
+    lifetime_s: float,
+    link_count: int,
+    energy: EnergyConfig,
+) -> float:
+    """Energy (joules) spent by transceivers along a circuit.
+
+    ``demand_gbps * 1e9 * lifetime_s`` bits cross each of ``link_count``
+    links at ``transceiver_pj_per_bit`` picojoules per bit.
+    """
+    if demand_gbps < 0 or lifetime_s < 0 or link_count < 0:
+        raise ValueError("demand, lifetime, and link_count must be >= 0")
+    bits = demand_gbps * 1e9 * lifetime_s
+    return bits * energy.transceiver_pj_per_bit * 1e-12 * link_count
+
+
+def transceiver_power_w(
+    demand_gbps: float, link_count: int, energy: EnergyConfig
+) -> float:
+    """Steady-state transceiver power of an active circuit."""
+    return demand_gbps * 1e9 * energy.transceiver_pj_per_bit * 1e-12 * link_count

@@ -1,0 +1,47 @@
+"""VM schedulers: the paper's four algorithms plus ablation baselines."""
+
+from .base import Placement, Scheduler
+from .contention import contention_ratio, contention_ratios, most_contended
+from .extras import (
+    BestFitGlobalScheduler,
+    FirstFitRackScheduler,
+    RandomScheduler,
+    WorstFitGlobalScheduler,
+)
+from .nalb import NALBRackAffinityScheduler, NALBScheduler
+from .nulb import NULBRackAffinityScheduler, NULBScheduler
+from .registry import (
+    ALL_SCHEDULERS,
+    PAPER_SCHEDULERS,
+    create_scheduler,
+    register_scheduler,
+    registry_view,
+    scheduler_class,
+    scheduler_names,
+)
+from .risa import RISABFScheduler, RISAScheduler
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "BestFitGlobalScheduler",
+    "FirstFitRackScheduler",
+    "NALBRackAffinityScheduler",
+    "NALBScheduler",
+    "NULBRackAffinityScheduler",
+    "NULBScheduler",
+    "PAPER_SCHEDULERS",
+    "Placement",
+    "RISABFScheduler",
+    "RISAScheduler",
+    "RandomScheduler",
+    "Scheduler",
+    "WorstFitGlobalScheduler",
+    "contention_ratio",
+    "contention_ratios",
+    "create_scheduler",
+    "most_contended",
+    "register_scheduler",
+    "registry_view",
+    "scheduler_class",
+    "scheduler_names",
+]

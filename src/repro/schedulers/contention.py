@@ -1,0 +1,44 @@
+"""Contention ratio (CR) — the scarce-resource heuristic of NULB/NALB.
+
+Section 4.1: "the contention ratio (CR) or the amount of a resource required
+by a VM over the total amount of that available resource".  The denominators
+are the cluster-wide *available* units, which the cluster maintains in O(1).
+Ties break in RESOURCE_ORDER (CPU, RAM, STORAGE) deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..topology import Cluster
+from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
+
+
+def contention_ratio(cluster: Cluster, rtype: ResourceType, required_units: int) -> float:
+    """required / cluster-available, with inf when nothing is available."""
+    if required_units <= 0:
+        return 0.0
+    avail = cluster.total_avail(rtype)
+    if avail <= 0:
+        return math.inf
+    return required_units / avail
+
+
+def contention_ratios(cluster: Cluster, units: ResourceVector) -> dict[ResourceType, float]:
+    """CR per resource type for one request."""
+    return {
+        rtype: contention_ratio(cluster, rtype, units.get(rtype))
+        for rtype in RESOURCE_ORDER
+    }
+
+
+def most_contended(cluster: Cluster, units: ResourceVector) -> ResourceType:
+    """The resource type with the highest CR (ties -> RESOURCE_ORDER)."""
+    ratios = contention_ratios(cluster, units)
+    best = RESOURCE_ORDER[0]
+    best_ratio = ratios[best]
+    for rtype in RESOURCE_ORDER[1:]:
+        if ratios[rtype] > best_ratio:
+            best = rtype
+            best_ratio = ratios[rtype]
+    return best

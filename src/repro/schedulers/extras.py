@@ -1,0 +1,114 @@
+"""Ablation schedulers beyond the paper's four.
+
+These isolate individual design choices of RISA so the ablation benchmarks
+can attribute its wins:
+
+- :class:`FirstFitRackScheduler` — RISA without the round-robin cursor
+  (always scans racks from index 0): measures what load balancing buys.
+- :class:`BestFitGlobalScheduler` — best-fit packing per resource type over
+  the whole cluster with no locality preference: measures what rack affinity
+  buys.
+- :class:`WorstFitGlobalScheduler` — worst-fit (emptiest box) per type:
+  a load-spreading strawman.
+- :class:`RandomScheduler` — uniformly random feasible boxes per type:
+  the no-information baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ClusterSpec
+from ..network import LinkSelectionPolicy, NetworkFabric
+from ..topology import Box, Cluster
+from ..types import RESOURCE_ORDER, ResourceType
+from ..workloads import ResolvedRequest
+from .base import Placement, Scheduler
+from .risa import RISAScheduler
+
+
+class FirstFitRackScheduler(RISAScheduler):
+    """RISA with the round-robin cursor pinned to rack 0 (no balancing)."""
+
+    name = "first_fit_rack"
+
+    def schedule(self, request: ResolvedRequest) -> Placement | None:
+        self._cursor = 0
+        placement = super().schedule(request)
+        self._cursor = 0
+        return placement
+
+
+class _GlobalBoxScheduler(Scheduler):
+    """Shared machinery: pick one box per type from the global list."""
+
+    link_policy = LinkSelectionPolicy.FIRST_FIT
+
+    def _pick(self, rtype: ResourceType, units: int) -> Box | None:
+        raise NotImplementedError
+
+    def schedule(self, request: ResolvedRequest) -> Placement | None:
+        units = request.units
+        chosen: dict[ResourceType, Box | None] = {}
+        for rtype in RESOURCE_ORDER:
+            needed = units.get(rtype)
+            if needed == 0:
+                chosen[rtype] = None
+                continue
+            box = self._pick(rtype, needed)
+            if box is None:
+                return None
+            chosen[rtype] = box
+        cpu_box = chosen[ResourceType.CPU]
+        ram_box = chosen[ResourceType.RAM]
+        if cpu_box is None or ram_box is None:
+            return None
+        return self._commit(request, cpu_box, ram_box, chosen[ResourceType.STORAGE])
+
+
+class BestFitGlobalScheduler(_GlobalBoxScheduler):
+    """Tightest-fitting box per type, anywhere in the cluster."""
+
+    name = "best_fit_global"
+
+    def _pick(self, rtype: ResourceType, units: int) -> Box | None:
+        best: Box | None = None
+        for box in self.cluster.boxes(rtype):
+            if box.can_fit(units) and (best is None or box.avail_units < best.avail_units):
+                best = box
+        return best
+
+
+class WorstFitGlobalScheduler(_GlobalBoxScheduler):
+    """Emptiest box per type, anywhere in the cluster."""
+
+    name = "worst_fit_global"
+
+    def _pick(self, rtype: ResourceType, units: int) -> Box | None:
+        best: Box | None = None
+        for box in self.cluster.boxes(rtype):
+            if box.can_fit(units) and (best is None or box.avail_units > best.avail_units):
+                best = box
+        return best
+
+
+class RandomScheduler(_GlobalBoxScheduler):
+    """Uniformly random feasible box per type (seeded, reproducible)."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        cluster: Cluster,
+        fabric: NetworkFabric,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(spec, cluster, fabric)
+        self._rng = np.random.default_rng(seed)
+
+    def _pick(self, rtype: ResourceType, units: int) -> Box | None:
+        feasible = [b for b in self.cluster.boxes(rtype) if b.can_fit(units)]
+        if not feasible:
+            return None
+        return feasible[int(self._rng.integers(len(feasible)))]

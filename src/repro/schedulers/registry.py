@@ -1,0 +1,91 @@
+"""Name-based scheduler construction.
+
+``PAPER_SCHEDULERS`` lists the four algorithms of the paper's evaluation in
+presentation order; ``ALL_SCHEDULERS`` adds the ablation extras.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..config import ClusterSpec
+from ..errors import SchedulerError
+from ..network import NetworkFabric
+from ..topology import Cluster
+from .base import Scheduler
+from .extras import (
+    BestFitGlobalScheduler,
+    FirstFitRackScheduler,
+    RandomScheduler,
+    WorstFitGlobalScheduler,
+)
+from .nalb import NALBRackAffinityScheduler, NALBScheduler
+from .nulb import NULBRackAffinityScheduler, NULBScheduler
+from .risa import RISABFScheduler, RISAScheduler
+
+SchedulerFactory = Callable[[ClusterSpec, Cluster, NetworkFabric], Scheduler]
+
+_REGISTRY: dict[str, type[Scheduler]] = {
+    cls.name: cls
+    for cls in (
+        NULBScheduler,
+        NULBRackAffinityScheduler,
+        NALBScheduler,
+        NALBRackAffinityScheduler,
+        RISAScheduler,
+        RISABFScheduler,
+        FirstFitRackScheduler,
+        BestFitGlobalScheduler,
+        WorstFitGlobalScheduler,
+        RandomScheduler,
+    )
+}
+
+#: The paper's evaluation lineup, in figure order.
+PAPER_SCHEDULERS: tuple[str, ...] = ("nulb", "nalb", "risa", "risa_bf")
+
+#: Everything the library ships.
+ALL_SCHEDULERS: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """All registered scheduler names."""
+    return ALL_SCHEDULERS
+
+
+def scheduler_class(name: str) -> type[Scheduler]:
+    """Look up a scheduler class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_scheduler(
+    name: str, spec: ClusterSpec, cluster: Cluster, fabric: NetworkFabric
+) -> Scheduler:
+    """Instantiate a scheduler by name."""
+    return scheduler_class(name)(spec, cluster, fabric)
+
+
+def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+    """Register a user-defined scheduler class (usable as a decorator).
+
+    The class must define a unique ``name`` attribute; see
+    ``examples/custom_scheduler.py``.
+    """
+    if not isinstance(getattr(cls, "name", None), str) or not cls.name:
+        raise SchedulerError("scheduler class must define a non-empty 'name'")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise SchedulerError(f"scheduler name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    global ALL_SCHEDULERS
+    ALL_SCHEDULERS = tuple(_REGISTRY)
+    return cls
+
+
+def registry_view() -> Mapping[str, type[Scheduler]]:
+    """Read-only view of the registry (for introspection/tests)."""
+    return dict(_REGISTRY)

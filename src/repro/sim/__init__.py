@@ -1,0 +1,25 @@
+"""Discrete-event simulation: the generator-based engine and the DDC driver."""
+
+from .conditions import AllOf, AnyOf
+from .environment import Environment, Process
+from .event_log import EventLog, SimEvent
+from .events import Event, Timeout
+from .resources import SimResource, SimStore
+from .results import SimulationResult
+from .simulator import DDCSimulator, simulate
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DDCSimulator",
+    "Environment",
+    "Event",
+    "EventLog",
+    "Process",
+    "SimResource",
+    "SimEvent",
+    "SimStore",
+    "SimulationResult",
+    "Timeout",
+    "simulate",
+]

@@ -1,0 +1,70 @@
+"""Composite wait conditions: AllOf / AnyOf.
+
+``AllOf`` fires once every child event has fired; ``AnyOf`` fires as soon as
+one child fires.  Both deliver an ordered dict of the fired children's
+values, mirroring SimPy's condition events.  A failed child fails the
+condition (first failure wins for AnyOf/AllOf alike).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import SimulationError
+from .environment import Environment
+from .events import Event
+
+
+class _Condition(Event):
+    """Shared machinery for AllOf/AnyOf."""
+
+    __slots__ = ("_children", "_fired", "_needed")
+
+    def __init__(
+        self, env: Environment, children: Sequence[Event], needed: int
+    ) -> None:
+        super().__init__(env)
+        if not children:
+            raise SimulationError("condition needs at least one event")
+        for child in children:
+            if not isinstance(child, Event):
+                raise SimulationError(
+                    f"condition children must be Events, got {type(child).__name__}"
+                )
+        self._children = tuple(children)
+        self._fired: dict[Event, Any] = {}
+        self._needed = needed
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._fired[child] = child.value
+        if len(self._fired) >= self._needed:
+            self.succeed(dict(self._fired))
+
+    @property
+    def children(self) -> tuple[Event, ...]:
+        """The events this condition waits on."""
+        return self._children
+
+
+class AllOf(_Condition):
+    """Fires when *every* child event has fired."""
+
+    def __init__(self, env: Environment, children: Sequence[Event]) -> None:
+        super().__init__(env, children, needed=len(children))
+
+
+class AnyOf(_Condition):
+    """Fires when *any* child event has fired."""
+
+    def __init__(self, env: Environment, children: Sequence[Event]) -> None:
+        super().__init__(env, children, needed=1)

@@ -1,0 +1,141 @@
+"""Deterministic discrete-event simulation environment.
+
+A binary heap of ``(time, sequence, event)`` entries guarantees total
+ordering: same-time events fire in scheduling order, making every simulation
+run bit-reproducible — a prerequisite for the paper's algorithm comparisons
+(all four schedulers must see an identical event stream).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from ..errors import SimulationError
+from .events import Event, Timeout
+
+
+class Process(Event):
+    """A running generator; itself an event that fires when the generator
+    returns (value = the generator's return value)."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self._generator = generator
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.callbacks.append(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the triggering event's value."""
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            if not self._triggered:
+                self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}; processes must "
+                "yield Event instances"
+            )
+        if target.processed:
+            # Already fired: resume on the next scheduler pass.
+            immediate = Event(self.env)
+            immediate._ok = target.ok
+            immediate._value = target.value
+            immediate.succeed(target.value) if target.ok else immediate.fail(target.value)
+            immediate.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    __slots__ = ("_now", "_queue", "_sequence")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # Event factories
+    # ------------------------------------------------------------------ #
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a generator as a process."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling core
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event queue delivered a past event")
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            # A failed event nobody waited on: surface the error.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until`` if the
+        simulation reaches it.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} is before current time {self._now}"
+            )
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)

@@ -1,0 +1,163 @@
+"""Structured simulation event logging, export, and digesting.
+
+An :class:`EventLog` captures every arrival / placement / drop / departure
+with its timestamp and placement details, giving three capabilities:
+
+1. **Export** — JSONL event traces for external analysis;
+2. **Digest** — a deterministic SHA-256 over the semantic event stream,
+   used as a cheap regression oracle (same trace + same scheduler must
+   yield the same digest across runs and refactorings);
+3. **Invariant audit** — replaying the log checks that every VM's lifecycle
+   is well-formed (placed before departed, never released twice, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One lifecycle event.
+
+    ``kind`` is one of ``arrival``, ``placement``, ``drop``, ``departure``.
+    ``racks`` is populated for placements (sorted rack indices).
+    """
+
+    time: float
+    kind: str
+    vm_id: int
+    racks: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "vm_id": self.vm_id,
+            "racks": list(self.racks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            vm_id=int(data["vm_id"]),
+            racks=tuple(data.get("racks", ())),
+        )
+
+
+_KINDS = ("arrival", "placement", "drop", "departure")
+
+
+class EventLog:
+    """Append-only event stream with export/digest/audit."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent] | None = None) -> None:
+        self.events: list[SimEvent] = list(events or [])
+
+    def record(self, time: float, kind: str, vm_id: int, racks: tuple[int, ...] = ()) -> None:
+        """Append one event (kinds validated)."""
+        if kind not in _KINDS:
+            raise SimulationError(f"unknown event kind {kind!r}")
+        self.events.append(SimEvent(time=time, kind=kind, vm_id=vm_id, racks=racks))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------ #
+    # Export / import
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | Path) -> int:
+        """Write the log as JSONL; returns the event count."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return len(self.events)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EventLog":
+        """Read a log written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise SimulationError(f"event log not found: {path}")
+        events = [
+            SimEvent.from_dict(json.loads(line))
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        return cls(events)
+
+    # ------------------------------------------------------------------ #
+    # Digest (regression oracle)
+    # ------------------------------------------------------------------ #
+
+    def digest(self) -> str:
+        """Deterministic SHA-256 of the semantic event stream."""
+        hasher = hashlib.sha256()
+        for event in self.events:
+            hasher.update(
+                f"{event.time:.9f}|{event.kind}|{event.vm_id}|{event.racks}\n".encode()
+            )
+        return hasher.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle audit
+    # ------------------------------------------------------------------ #
+
+    def audit(self) -> None:
+        """Validate every VM's lifecycle; raises :class:`SimulationError`
+        on the first violation.
+
+        Rules: arrival precedes everything; exactly one of placement/drop
+        follows an arrival; departure only after placement, exactly once;
+        times are non-decreasing per VM.
+        """
+        state: dict[int, str] = {}
+        last_time: dict[int, float] = {}
+        for event in self.events:
+            vm = event.vm_id
+            if vm in last_time and event.time < last_time[vm] - 1e-12:
+                raise SimulationError(f"VM {vm}: time moved backwards")
+            last_time[vm] = event.time
+            current = state.get(vm)
+            if event.kind == "arrival":
+                if current is not None:
+                    raise SimulationError(f"VM {vm}: duplicate arrival")
+                state[vm] = "arrived"
+            elif event.kind == "placement":
+                if current != "arrived":
+                    raise SimulationError(f"VM {vm}: placement without arrival")
+                if not event.racks:
+                    raise SimulationError(f"VM {vm}: placement without racks")
+                state[vm] = "placed"
+            elif event.kind == "drop":
+                if current != "arrived":
+                    raise SimulationError(f"VM {vm}: drop without arrival")
+                state[vm] = "dropped"
+            elif event.kind == "departure":
+                if current != "placed":
+                    raise SimulationError(f"VM {vm}: departure without placement")
+                state[vm] = "departed"
+        for vm, current in state.items():
+            if current == "arrived":
+                raise SimulationError(f"VM {vm}: arrived but never resolved")
+
+    def summary_counts(self) -> dict[str, int]:
+        """Event counts per kind."""
+        counts = {kind: 0 for kind in _KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts

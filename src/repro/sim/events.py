@@ -1,0 +1,93 @@
+"""Core event primitives for the discrete-event engine.
+
+The engine is a small, deterministic, generator-based DES in the style of
+SimPy (which is not available offline; see DESIGN.md Section 4).  An
+:class:`Event` carries callbacks that fire when it triggers; a
+:class:`Timeout` is an event pre-scheduled at ``now + delay``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+
+class Event:
+    """A one-shot occurrence other processes can wait on.
+
+    States: *pending* (created), *triggered* (scheduled to fire), and
+    *processed* (callbacks ran).  ``succeed``/``fail`` trigger the event;
+    failing delivers the exception into every waiting process.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid after triggering)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """Payload passed to :meth:`succeed` (or the failure exception)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see the exception."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, delay=0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        env._schedule(self, delay=delay)

@@ -1,0 +1,114 @@
+"""Counting resources and FIFO stores for the DES engine.
+
+These SimPy-style primitives are not used by the core RISA pipeline (the
+schedulers manage capacity themselves), but make :mod:`repro.sim` a complete
+general-purpose engine for user extensions — e.g. modelling a bounded
+admission queue or a reconfiguration controller in front of the scheduler
+(see ``examples/`` and the tests for usage patterns).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from ..errors import SimulationError
+from .environment import Environment
+from .events import Event
+
+
+class SimResource:
+    """A counting resource with FIFO waiters (cf. ``simpy.Resource``).
+
+    ``request()`` returns an event that fires when a slot is granted; pass
+    the same event to ``release()`` to return the slot.
+    """
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiters")
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use: set[Event] = set()
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Slots currently granted."""
+        return len(self._in_use)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event fires when granted."""
+        event = Event(self.env)
+        if len(self._in_use) < self.capacity:
+            self._in_use.add(event)
+            event.succeed(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Return a granted slot and wake the next waiter (FIFO)."""
+        if request not in self._in_use:
+            raise SimulationError("releasing a request that does not hold a slot")
+        self._in_use.remove(request)
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self._in_use.add(waiter)
+            waiter.succeed(waiter)
+
+
+class SimStore:
+    """An unbounded-or-bounded FIFO item store (cf. ``simpy.Store``)."""
+
+    __slots__ = ("env", "capacity", "_items", "_getters", "_putters")
+
+    def __init__(self, env: Environment, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert an item; the event fires when the item is accepted."""
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event fires with the item as value."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self._items.append(item)
+                putter.succeed(None)
+        elif self._putters:
+            putter, item = self._putters.popleft()
+            event.succeed(item)
+            putter.succeed(None)
+        else:
+            self._getters.append(event)
+        return event

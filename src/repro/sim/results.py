@@ -1,0 +1,58 @@
+"""Simulation result container with JSON serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import ClusterSpec, spec_to_dict
+from ..metrics import RunSummary, VMRecord
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything one (scheduler, workload) run produced."""
+
+    scheduler: str
+    spec: ClusterSpec
+    summary: RunSummary
+    records: tuple[VMRecord, ...]
+    end_time: float
+
+    @property
+    def dropped_vm_ids(self) -> tuple[int, ...]:
+        """Ids of VMs that could not be placed."""
+        return tuple(r.vm_id for r in self.records if not r.scheduled)
+
+    def to_dict(self, include_records: bool = False) -> dict:
+        """JSON-compatible dict; per-VM records are large and optional."""
+        out = {
+            "scheduler": self.scheduler,
+            "spec": spec_to_dict(self.spec),
+            "summary": self.summary.as_dict(),
+            "end_time": self.end_time,
+        }
+        if include_records:
+            out["records"] = [
+                {
+                    "vm_id": r.vm_id,
+                    "arrival": r.arrival,
+                    "lifetime": r.lifetime,
+                    "scheduled": r.scheduled,
+                    "intra_rack": r.intra_rack,
+                    "cpu_ram_intra": r.cpu_ram_intra,
+                    "racks_spanned": r.racks_spanned,
+                    "racks": list(r.racks),
+                    "cpu_ram_latency_ns": r.cpu_ram_latency_ns,
+                    "optical_energy_j": r.optical_energy_j,
+                }
+                for r in self.records
+            ]
+        return out
+
+    def save(self, path: str | Path, include_records: bool = False) -> None:
+        """Write the result to a JSON file."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(include_records=include_records), indent=2)
+        )

@@ -1,0 +1,98 @@
+"""Construct a :class:`~repro.topology.cluster.Cluster` from a config.
+
+Global box ids are assigned rack-major: rack 0's boxes (CPU boxes, then RAM,
+then storage, each in index order), then rack 1's, etc.  Within a resource
+type this yields exactly the "first box" ordering Table 3 uses (rack 0 box 0,
+rack 0 box 1, rack 1 box 0, ...).
+"""
+
+from __future__ import annotations
+
+from ..config import ClusterSpec, DDCConfig
+from ..errors import TopologyError
+from ..types import RESOURCE_ORDER, ResourceType
+from .box import Box
+from .brick import Brick
+from .cluster import Cluster
+from .rack import Rack
+
+
+def _make_bricks(ddc: DDCConfig, rtype: ResourceType) -> list[Brick]:
+    """Brick subdivision for one box of ``rtype``.
+
+    When the per-type capacity override is active the brick count/size is
+    derived so bricks still tile the box exactly.
+    """
+    capacity = ddc.box_capacity_units(rtype)
+    default_capacity = ddc.bricks_per_box * ddc.units_per_brick
+    if capacity == default_capacity:
+        return [
+            Brick(index=i, rtype=rtype, capacity_units=ddc.units_per_brick)
+            for i in range(ddc.bricks_per_box)
+        ]
+    # Overridden capacity: keep brick size if it divides evenly, else one
+    # brick spanning the whole box.
+    if capacity % ddc.units_per_brick == 0:
+        count = capacity // ddc.units_per_brick
+        return [
+            Brick(index=i, rtype=rtype, capacity_units=ddc.units_per_brick)
+            for i in range(count)
+        ]
+    return [Brick(index=0, rtype=rtype, capacity_units=capacity)]
+
+
+def build_cluster(spec: ClusterSpec) -> Cluster:
+    """Build the rack/box/brick hierarchy described by ``spec.ddc``."""
+    ddc = spec.ddc
+    racks = [Rack(index=r) for r in range(ddc.num_racks)]
+    cluster = Cluster.__new__(Cluster)  # wire callbacks before registration
+    next_id = 0
+    for rack in racks:
+        for rtype in RESOURCE_ORDER:
+            for idx in range(ddc.boxes_per_rack[rtype]):
+                box = Box(
+                    box_id=next_id,
+                    rtype=rtype,
+                    rack_index=rack.index,
+                    index_in_rack=idx,
+                    bricks=_make_bricks(ddc, rtype),
+                    on_change=None,  # set after Cluster.__init__
+                )
+                next_id += 1
+                rack.attach_box(box)
+    Cluster.__init__(cluster, racks)
+    for box in cluster.all_boxes():
+        box._on_change = cluster.on_box_change
+    return cluster
+
+
+def prime_availability(
+    cluster: Cluster,
+    avail_units: dict[tuple[ResourceType, int, int], int],
+) -> None:
+    """Pre-allocate boxes so availability matches a prescribed state.
+
+    ``avail_units`` maps ``(rtype, rack_index, index_in_rack)`` to the
+    desired *available* units; all other boxes are left untouched.  Used to
+    reproduce Table 3's starting state for the toy examples.
+    """
+    for (rtype, rack_index, idx), avail in avail_units.items():
+        rack = cluster.rack(rack_index)
+        boxes = rack.boxes(rtype)
+        if idx >= len(boxes):
+            raise TopologyError(
+                f"rack {rack_index} has no {rtype.value} box with index {idx}"
+            )
+        box = boxes[idx]
+        if avail < 0 or avail > box.capacity_units:
+            raise TopologyError(
+                f"requested availability {avail} outside [0, "
+                f"{box.capacity_units}] for box {box.box_id}"
+            )
+        take = box.avail_units - avail
+        if take < 0:
+            raise TopologyError(
+                f"box {box.box_id} already below requested availability"
+            )
+        if take > 0:
+            box.allocate(take)

@@ -1,0 +1,143 @@
+"""The cluster: racks, global box order, and cluster-wide aggregates.
+
+The cluster keeps O(1) total-availability counters per resource type — the
+denominators of NULB/NALB's contention ratio (Section 4.1) — and exposes the
+rack-major global box ordering that defines "the first box" for first-fit
+searches.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
+from .box import Box
+from .rack import Rack
+
+
+class Cluster:
+    """A built DDC cluster (use :func:`repro.topology.builder.build_cluster`)."""
+
+    __slots__ = ("racks", "_boxes_by_type", "_box_by_id", "_total_avail", "_total_capacity")
+
+    def __init__(self, racks: list[Rack]) -> None:
+        self.racks = racks
+        self._boxes_by_type: dict[ResourceType, list[Box]] = {
+            t: [] for t in RESOURCE_ORDER
+        }
+        self._box_by_id: dict[int, Box] = {}
+        self._total_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
+        self._total_capacity: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
+        for rack in racks:
+            for rtype in RESOURCE_ORDER:
+                for box in rack.boxes(rtype):
+                    self._register_box(box)
+
+    def _register_box(self, box: Box) -> None:
+        if box.box_id in self._box_by_id:
+            raise TopologyError(f"duplicate box id {box.box_id}")
+        self._box_by_id[box.box_id] = box
+        self._boxes_by_type[box.rtype].append(box)
+        self._total_avail[box.rtype] += box.avail_units
+        self._total_capacity[box.rtype] += box.capacity_units
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks in the cluster."""
+        return len(self.racks)
+
+    def rack(self, index: int) -> Rack:
+        """Rack by index."""
+        return self.racks[index]
+
+    def box(self, box_id: int) -> Box:
+        """Box by global id."""
+        try:
+            return self._box_by_id[box_id]
+        except KeyError:
+            raise TopologyError(f"no box with id {box_id}") from None
+
+    def boxes(self, rtype: ResourceType) -> list[Box]:
+        """All boxes of ``rtype`` in rack-major (global first-fit) order."""
+        return self._boxes_by_type[rtype]
+
+    def all_boxes(self) -> list[Box]:
+        """Every box, iterating types in RESOURCE_ORDER then rack-major."""
+        out: list[Box] = []
+        for rtype in RESOURCE_ORDER:
+            out.extend(self._boxes_by_type[rtype])
+        return out
+
+    def total_avail(self, rtype: ResourceType) -> int:
+        """Cluster-wide available units of ``rtype`` (O(1))."""
+        return self._total_avail[rtype]
+
+    def total_capacity(self, rtype: ResourceType) -> int:
+        """Cluster-wide capacity of ``rtype`` in units (O(1))."""
+        return self._total_capacity[rtype]
+
+    def avail_vector(self) -> ResourceVector:
+        """Availability of all three types as a :class:`ResourceVector`."""
+        return ResourceVector(
+            cpu=self._total_avail[ResourceType.CPU],
+            ram=self._total_avail[ResourceType.RAM],
+            storage=self._total_avail[ResourceType.STORAGE],
+        )
+
+    def utilization(self, rtype: ResourceType) -> float:
+        """Fraction of ``rtype`` capacity currently in use."""
+        cap = self._total_capacity[rtype]
+        if cap == 0:
+            return 0.0
+        return 1.0 - self._total_avail[rtype] / cap
+
+    # ------------------------------------------------------------------ #
+    # Cache maintenance
+    # ------------------------------------------------------------------ #
+
+    def on_box_change(self, box: Box, delta: int) -> None:
+        """Box availability changed by ``delta``; update cluster totals and
+        forward to the owning rack's cache."""
+        self._total_avail[box.rtype] += delta
+        self.racks[box.rack_index].on_box_change(box, delta)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (what-if analysis and test invariants)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> tuple[tuple[int, ...], ...]:
+        """Capture per-box, per-brick occupancy; restorable and comparable."""
+        return tuple(
+            tuple(brick.used_units for brick in self._box_by_id[bid].bricks)
+            for bid in sorted(self._box_by_id)
+        )
+
+    def restore(self, snap: tuple[tuple[int, ...], ...]) -> None:
+        """Restore occupancy captured by :meth:`snapshot`, rebuilding all
+        cached aggregates."""
+        ids = sorted(self._box_by_id)
+        if len(snap) != len(ids):
+            raise TopologyError("snapshot shape does not match cluster")
+        for bid, brick_used in zip(ids, snap):
+            box = self._box_by_id[bid]
+            if len(brick_used) != len(box.bricks):
+                raise TopologyError(f"snapshot shape mismatch for box {bid}")
+            old_used = box.used_units
+            for brick, used in zip(box.bricks, brick_used):
+                if used < 0 or used > brick.capacity_units:
+                    raise TopologyError("snapshot value out of range")
+                brick.used_units = used
+            box.used_units = sum(brick_used)
+            delta = old_used - box.used_units
+            if delta != 0 and box._on_change is not None:
+                box._on_change(box, delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{t.value}:{self._total_avail[t]}/{self._total_capacity[t]}"
+            for t in RESOURCE_ORDER
+        )
+        return f"Cluster({self.num_racks} racks, avail {parts})"

@@ -1,0 +1,154 @@
+"""Defragmentation planning: un-strand capacity with minimal migrations.
+
+The paper motivates disaggregation with stranded resources and proposes
+RISA-BF to *reduce* stranding; it leaves recovering from stranding to future
+work.  This planner closes that loop: given a rack that cannot host a VM's
+slice in any single box (capacity exists but is fragmented), it computes a
+small set of intra-rack migrations — moving whole per-VM slices between
+boxes of the same type — that consolidates enough room.
+
+The planner is greedy (largest-donor first) and *advisory*: it returns a
+:class:`MigrationPlan` whose feasibility is verified step by step against a
+scratch copy of the occupancy, never mutating the live cluster.  Executing a
+plan is the caller's job (see ``apply_plan`` for the bookkeeping-only form
+used in tests and what-if studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from ..types import ResourceType
+from .box import BoxAllocation
+from .cluster import Cluster
+from .rack import Rack
+
+
+@dataclass(frozen=True, slots=True)
+class Migration:
+    """Move ``units`` of one live slice from ``source_box`` to ``target_box``
+    (same resource type, same rack)."""
+
+    rtype: ResourceType
+    source_box: int
+    target_box: int
+    units: int
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationPlan:
+    """An ordered, feasibility-checked list of migrations that frees
+    ``units_freed`` contiguous units in ``target_box``."""
+
+    rtype: ResourceType
+    target_box: int
+    migrations: tuple[Migration, ...]
+    units_freed: int
+
+    @property
+    def migration_count(self) -> int:
+        """Number of slice moves required."""
+        return len(self.migrations)
+
+
+def plan_rack_defrag(
+    rack: Rack,
+    rtype: ResourceType,
+    needed_units: int,
+    movable: dict[int, list[int]],
+) -> MigrationPlan | None:
+    """Plan intra-rack migrations so one box of ``rtype`` can host
+    ``needed_units``.
+
+    ``movable`` maps box id -> sizes (units) of individually movable live
+    slices in that box (one entry per resident VM slice).  Returns None when
+    no plan exists: either aggregate rack capacity is insufficient, or the
+    movable slices cannot be repacked to free enough room in any box.
+
+    Strategy: choose the box with the most availability as the *target*;
+    evict its smallest resident slices into the other boxes' free space
+    (largest-recipient first) until the target can host the request.
+    """
+    if needed_units <= 0:
+        raise AllocationError(f"needed_units must be positive, got {needed_units}")
+    boxes = rack.boxes(rtype)
+    if not boxes:
+        return None
+    if rack.max_avail(rtype) >= needed_units:
+        # Nothing to do: an existing box already fits.
+        best = max(boxes, key=lambda b: b.avail_units)
+        return MigrationPlan(
+            rtype=rtype, target_box=best.box_id, migrations=(), units_freed=0
+        )
+    if rack.total_avail(rtype) < needed_units:
+        return None  # Fundamentally not enough capacity in the rack.
+
+    # Scratch availability per box.
+    avail = {box.box_id: box.avail_units for box in boxes}
+    target = max(boxes, key=lambda b: b.avail_units)
+    deficit = needed_units - avail[target.box_id]
+
+    # Candidate slices to evict from the target, smallest first (fewest
+    # units moved); recipients are other boxes, emptiest first.
+    resident = sorted(movable.get(target.box_id, []))
+    recipients = sorted(
+        (b for b in boxes if b.box_id != target.box_id),
+        key=lambda b: avail[b.box_id],
+        reverse=True,
+    )
+    migrations: list[Migration] = []
+    for size in resident:
+        if deficit <= 0:
+            break
+        for recipient in recipients:
+            if avail[recipient.box_id] >= size:
+                migrations.append(
+                    Migration(
+                        rtype=rtype,
+                        source_box=target.box_id,
+                        target_box=recipient.box_id,
+                        units=size,
+                    )
+                )
+                avail[recipient.box_id] -= size
+                avail[target.box_id] += size
+                deficit -= size
+                break
+    if deficit > 0:
+        return None
+    return MigrationPlan(
+        rtype=rtype,
+        target_box=target.box_id,
+        migrations=tuple(migrations),
+        units_freed=sum(m.units for m in migrations),
+    )
+
+
+def apply_plan(
+    cluster: Cluster,
+    plan: MigrationPlan,
+    allocations: dict[int, list[BoxAllocation]],
+) -> None:
+    """Execute a plan's bookkeeping on the cluster.
+
+    ``allocations`` maps box id -> live :class:`BoxAllocation` receipts in
+    that box.  For each migration, a receipt of exactly the migrated size is
+    released from the source and re-allocated in the target (the physical
+    copy is outside this model's scope).  Raises :class:`AllocationError`
+    when the receipts do not match the plan.
+    """
+    for migration in plan.migrations:
+        source = cluster.box(migration.source_box)
+        target = cluster.box(migration.target_box)
+        pool = allocations.get(migration.source_box, [])
+        match = next((a for a in pool if a.units == migration.units), None)
+        if match is None:
+            raise AllocationError(
+                f"no live allocation of {migration.units} units in box "
+                f"{migration.source_box} to migrate"
+            )
+        pool.remove(match)
+        source.release(match)
+        moved = target.allocate(migration.units)
+        allocations.setdefault(migration.target_box, []).append(moved)

@@ -1,0 +1,105 @@
+"""Racks — groups of single-resource boxes with cached per-type maxima.
+
+RISA's INTRA_RACK_POOL test needs, for every rack, "the boxes with the
+maximum amount of each resource" (Section 4.2).  :class:`Rack` maintains that
+maximum incrementally so the pool scan is O(#racks), matching the paper's
+description of RISA's bookkeeping.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
+from .box import Box
+
+
+class Rack:
+    """A rack: per-type box lists plus cached availability aggregates."""
+
+    __slots__ = ("index", "_boxes_by_type", "_max_avail", "_total_avail")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._boxes_by_type: dict[ResourceType, list[Box]] = {
+            t: [] for t in RESOURCE_ORDER
+        }
+        self._max_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
+        self._total_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def attach_box(self, box: Box) -> None:
+        """Register a box with this rack (builder-time only)."""
+        if box.rack_index != self.index:
+            raise TopologyError(
+                f"box {box.box_id} belongs to rack {box.rack_index}, "
+                f"not rack {self.index}"
+            )
+        self._boxes_by_type[box.rtype].append(box)
+        self._max_avail[box.rtype] = max(self._max_avail[box.rtype], box.avail_units)
+        self._total_avail[box.rtype] += box.avail_units
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def boxes(self, rtype: ResourceType) -> list[Box]:
+        """Boxes of ``rtype`` in this rack, in index order."""
+        return self._boxes_by_type[rtype]
+
+    def all_boxes(self) -> list[Box]:
+        """All boxes in this rack, grouped by type in RESOURCE_ORDER."""
+        out: list[Box] = []
+        for rtype in RESOURCE_ORDER:
+            out.extend(self._boxes_by_type[rtype])
+        return out
+
+    def max_avail(self, rtype: ResourceType) -> int:
+        """Largest single-box availability of ``rtype`` (cached, O(1))."""
+        return self._max_avail[rtype]
+
+    def total_avail(self, rtype: ResourceType) -> int:
+        """Summed availability of ``rtype`` across the rack's boxes."""
+        return self._total_avail[rtype]
+
+    def can_host(self, request: ResourceVector) -> bool:
+        """True when *one box per type* in this rack can hold the whole VM —
+        the INTRA_RACK_POOL membership test (Section 4.2)."""
+        return (
+            request.cpu <= self._max_avail[ResourceType.CPU]
+            and request.ram <= self._max_avail[ResourceType.RAM]
+            and request.storage <= self._max_avail[ResourceType.STORAGE]
+        )
+
+    def has_box_for(self, rtype: ResourceType, units: int) -> bool:
+        """True when some box of ``rtype`` here can hold ``units`` — the
+        SUPER_RACK membership test for one resource type."""
+        return units <= self._max_avail[rtype]
+
+    # ------------------------------------------------------------------ #
+    # Cache maintenance (called by Box on_change)
+    # ------------------------------------------------------------------ #
+
+    def on_box_change(self, box: Box, delta: int) -> None:
+        """Update cached aggregates after ``box``'s availability changed by
+        ``delta`` units (positive = release, negative = allocate)."""
+        rtype = box.rtype
+        self._total_avail[rtype] += delta
+        if delta > 0:
+            # Release can only raise the max.
+            if box.avail_units > self._max_avail[rtype]:
+                self._max_avail[rtype] = box.avail_units
+        else:
+            # Allocation may lower the max; recompute over this rack's boxes
+            # of the affected type (2 boxes in the paper config — cheap).
+            self._max_avail[rtype] = max(
+                (b.avail_units for b in self._boxes_by_type[rtype]), default=0
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{t.value}:{self._total_avail[t]}" for t in RESOURCE_ORDER
+        )
+        return f"Rack({self.index}, avail {parts})"

@@ -1,0 +1,67 @@
+"""Workload models: the paper's synthetic trace, Azure-calibrated traces,
+distribution helpers, and trace persistence."""
+
+from .azure import (
+    AZURE_CPU_COUNTS,
+    AZURE_LIFETIME,
+    AZURE_MEAN_INTERARRIVAL,
+    AZURE_RAM_COUNTS,
+    AZURE_STORAGE_GB,
+    AZURE_SUBSETS,
+    azure_subset_counts,
+    cpu_histogram,
+    load_azure_trace_csv,
+    ram_histogram,
+    synthesize_azure,
+)
+from .arrival_models import (
+    MMPPParams,
+    burstiness_index,
+    diurnal_arrival_times,
+    mmpp_arrival_times,
+    with_arrivals,
+)
+from .distributions import (
+    exact_composition,
+    make_rng,
+    poisson_arrival_times,
+    sample_discrete,
+    uniform_integers,
+)
+from .synthetic import SyntheticWorkloadParams, generate_synthetic
+from .trace_io import load_trace, save_trace, vm_from_dict, vm_to_dict
+from .vm import ResolvedRequest, VMRequest, resolve, resolve_all
+
+__all__ = [
+    "AZURE_CPU_COUNTS",
+    "AZURE_LIFETIME",
+    "AZURE_MEAN_INTERARRIVAL",
+    "AZURE_RAM_COUNTS",
+    "AZURE_STORAGE_GB",
+    "AZURE_SUBSETS",
+    "MMPPParams",
+    "burstiness_index",
+    "diurnal_arrival_times",
+    "mmpp_arrival_times",
+    "with_arrivals",
+    "ResolvedRequest",
+    "SyntheticWorkloadParams",
+    "VMRequest",
+    "azure_subset_counts",
+    "cpu_histogram",
+    "exact_composition",
+    "generate_synthetic",
+    "load_azure_trace_csv",
+    "load_trace",
+    "make_rng",
+    "poisson_arrival_times",
+    "ram_histogram",
+    "resolve",
+    "resolve_all",
+    "sample_discrete",
+    "save_trace",
+    "synthesize_azure",
+    "uniform_integers",
+    "vm_from_dict",
+    "vm_to_dict",
+]

@@ -1,0 +1,66 @@
+"""Trace persistence: JSONL read/write of VM request streams.
+
+One JSON object per line keeps traces diff-able, streamable, and append-able;
+round-trips are exact for the integer/float fields used here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import WorkloadError
+from .vm import VMRequest
+
+_FIELDS = ("vm_id", "arrival", "lifetime", "cpu_cores", "ram_gb", "storage_gb")
+
+
+def vm_to_dict(vm: VMRequest) -> dict:
+    """Serialize one request to a JSON-compatible dict."""
+    return {name: getattr(vm, name) for name in _FIELDS}
+
+
+def vm_from_dict(data: dict) -> VMRequest:
+    """Inverse of :func:`vm_to_dict`."""
+    missing = [name for name in _FIELDS if name not in data]
+    if missing:
+        raise WorkloadError(f"trace record missing fields: {missing}")
+    return VMRequest(
+        vm_id=int(data["vm_id"]),
+        arrival=float(data["arrival"]),
+        lifetime=float(data["lifetime"]),
+        cpu_cores=int(data["cpu_cores"]),
+        ram_gb=float(data["ram_gb"]),
+        storage_gb=float(data["storage_gb"]),
+    )
+
+
+def save_trace(vms: Iterable[VMRequest], path: str | Path) -> int:
+    """Write a trace as JSONL; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as fh:
+        for vm in vms:
+            fh.write(json.dumps(vm_to_dict(vm)) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[VMRequest]:
+    """Read a JSONL trace written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file not found: {path}")
+    out: list[VMRequest] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(vm_from_dict(json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(
+                f"{path}:{line_number}: invalid JSON: {exc}"
+            ) from exc
+    return out

@@ -1,0 +1,94 @@
+"""VM request model and unit/bandwidth resolution.
+
+A :class:`VMRequest` carries natural quantities (cores / GB) plus arrival
+time and lifetime.  :func:`resolve` quantizes it against a cluster spec into
+a :class:`ResolvedRequest` — integer units and per-flow bandwidth demands —
+once, before scheduling, so the hot path never re-derives them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..config import ClusterSpec
+from ..errors import WorkloadError
+from ..types import ResourceType, ResourceVector
+
+
+@dataclass(frozen=True, slots=True)
+class VMRequest:
+    """One VM arrival: natural resource quantities plus timing."""
+
+    vm_id: int
+    arrival: float
+    lifetime: float
+    cpu_cores: int
+    ram_gb: float
+    storage_gb: float
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise WorkloadError(f"VM {self.vm_id}: negative arrival {self.arrival}")
+        if self.lifetime <= 0:
+            raise WorkloadError(f"VM {self.vm_id}: non-positive lifetime {self.lifetime}")
+        if self.cpu_cores <= 0:
+            raise WorkloadError(f"VM {self.vm_id}: non-positive CPU {self.cpu_cores}")
+        if self.ram_gb <= 0:
+            raise WorkloadError(f"VM {self.vm_id}: non-positive RAM {self.ram_gb}")
+        if self.storage_gb < 0:
+            raise WorkloadError(f"VM {self.vm_id}: negative storage {self.storage_gb}")
+
+    @property
+    def departure(self) -> float:
+        """Absolute time the VM releases its resources."""
+        return self.arrival + self.lifetime
+
+
+@dataclass(frozen=True, slots=True)
+class ResolvedRequest:
+    """A VM request quantized to hardware units with derived flow demands."""
+
+    vm: VMRequest
+    units: ResourceVector
+    cpu_ram_gbps: float
+    ram_storage_gbps: float
+
+    @property
+    def vm_id(self) -> int:
+        """Shortcut to the underlying request id."""
+        return self.vm.vm_id
+
+
+def resolve(vm: VMRequest, spec: ClusterSpec) -> ResolvedRequest:
+    """Quantize a request to units and derive Table 2 bandwidth demands.
+
+    Raises :class:`WorkloadError` when any slice exceeds a single box — the
+    paper's problem definition requires "VM resource requirements ... always
+    smaller than the capacity of one resource box" (Section 2).
+    """
+    ddc = spec.ddc
+    units = ResourceVector(
+        cpu=ddc.to_units(ResourceType.CPU, vm.cpu_cores),
+        ram=ddc.to_units(ResourceType.RAM, vm.ram_gb),
+        storage=ddc.to_units(ResourceType.STORAGE, vm.storage_gb),
+    )
+    for rtype in (ResourceType.CPU, ResourceType.RAM, ResourceType.STORAGE):
+        if units.get(rtype) > ddc.box_capacity_units(rtype):
+            raise WorkloadError(
+                f"VM {vm.vm_id}: {rtype.value} slice of {units.get(rtype)} "
+                f"units exceeds a single box "
+                f"({ddc.box_capacity_units(rtype)} units); the paper's "
+                "problem definition forbids multi-box slices"
+            )
+    return ResolvedRequest(
+        vm=vm,
+        units=units,
+        cpu_ram_gbps=spec.network.cpu_ram_demand_gbps(units.cpu, units.ram),
+        ram_storage_gbps=spec.network.ram_storage_demand_gbps(units.storage),
+    )
+
+
+def resolve_all(vms: Iterable[VMRequest], spec: ClusterSpec) -> list[ResolvedRequest]:
+    """Resolve a whole trace, preserving order."""
+    return [resolve(vm, spec) for vm in vms]

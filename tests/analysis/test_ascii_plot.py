@@ -1,0 +1,55 @@
+"""Tests for ASCII rendering helpers."""
+
+import pytest
+
+from repro.analysis import ascii_bars, ascii_table, grouped_bars
+
+
+class TestAsciiTable:
+    def test_includes_headers_and_rows(self):
+        out = ascii_table(["name", "value"], [["a", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "22" in out
+
+    def test_column_alignment(self):
+        out = ascii_table(["x"], [["long-value"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[2]) >= len("long-value")
+
+
+class TestAsciiBars:
+    def test_scaling_to_peak(self):
+        out = ascii_bars(["a", "b"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        out = ascii_bars(["a"], [0.0])
+        assert "#" not in out
+
+    def test_title_and_unit(self):
+        out = ascii_bars(["a"], [1.0], unit="%", title="T")
+        assert out.startswith("T")
+        assert "1%" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+
+class TestGroupedBars:
+    def test_groups_and_series(self):
+        out = grouped_bars(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, width=8
+        )
+        assert "g1:" in out and "g2:" in out
+        assert out.count("s1") == 2 and out.count("s2") == 2
+
+    def test_global_scaling(self):
+        out = grouped_bars(["g"], {"a": [4.0], "b": [8.0]}, width=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].count("#") == 4
+        assert lines[1].count("#") == 8

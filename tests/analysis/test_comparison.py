@@ -1,0 +1,53 @@
+"""Tests for multi-scheduler comparison runs."""
+
+import pytest
+
+from repro.analysis import compare_schedulers
+from repro.config import tiny_test
+from repro.workloads import generate_synthetic
+from tests.conftest import make_vm
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    spec = tiny_test()
+    vms = [
+        make_vm(vm_id=i, arrival=float(i), lifetime=30.0, cpu_cores=4,
+                ram_gb=4.0, storage_gb=64.0)
+        for i in range(6)
+    ]
+    return compare_schedulers(spec, vms, workload_name="tiny")
+
+
+def test_runs_paper_schedulers_in_order(comparison):
+    assert comparison.schedulers == ("nulb", "nalb", "risa", "risa_bf")
+
+
+def test_summary_lookup(comparison):
+    assert comparison.summary("risa").scheduler == "risa"
+    with pytest.raises(KeyError):
+        comparison.summary("nope")
+
+
+def test_metric_extraction(comparison):
+    metric = comparison.metric("scheduled_vms")
+    assert set(metric) == {"nulb", "nalb", "risa", "risa_bf"}
+    assert all(v == 6 for v in metric.values())
+
+
+def test_table_rendering(comparison):
+    table = comparison.table(["scheduled_vms", "dropped_vms"])
+    assert "risa_bf" in table
+    assert "scheduled_vms" in table
+
+
+def test_fresh_cluster_per_scheduler():
+    """Schedulers must not see each other's allocations."""
+    from repro.config import paper_default
+
+    spec = paper_default()
+    vms = generate_synthetic(seed=1)[:100]
+    comparison = compare_schedulers(spec, vms, schedulers=("risa", "risa"))
+    a, b = comparison.results
+    assert a.summary.scheduled_vms == b.summary.scheduled_vms
+    assert a.summary.inter_rack_assignments == b.summary.inter_rack_assignments

@@ -1,0 +1,110 @@
+"""Tests for stranding/fragmentation analysis."""
+
+import pytest
+
+from repro.analysis import (
+    fragmentation_summary,
+    largest_placeable,
+    rack_balance,
+    rack_utilization,
+    stranding_report,
+)
+from repro.config import tiny_test
+from repro.topology import build_cluster
+from repro.types import ResourceType, ResourceVector
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(tiny_test())
+
+
+REF = ResourceVector(cpu=4, ram=2, storage=1)
+
+
+class TestStranding:
+    def test_empty_cluster_nothing_stranded(self, cluster):
+        report = stranding_report(cluster, REF)
+        for rtype in ResourceType:
+            assert report.stranded[rtype] == 0
+            assert report.stranded_fraction(rtype) == 0.0
+
+    def test_small_remainders_count_as_stranded(self, cluster):
+        # Leave 3 units in one CPU box: below the 4-unit reference slice.
+        box = cluster.boxes(ResourceType.CPU)[0]
+        box.allocate(box.avail_units - 3)
+        report = stranding_report(cluster, REF)
+        assert report.stranded[ResourceType.CPU] == 3
+        assert report.usable(ResourceType.CPU) == 8  # the other box
+
+    def test_zero_reference_never_strands(self, cluster):
+        box = cluster.boxes(ResourceType.STORAGE)[0]
+        box.allocate(box.avail_units - 1)
+        report = stranding_report(cluster, ResourceVector())
+        assert report.stranded[ResourceType.STORAGE] == 0
+
+    def test_fully_exhausted_type(self, cluster):
+        for box in cluster.boxes(ResourceType.RAM):
+            box.allocate(box.avail_units)
+        report = stranding_report(cluster, REF)
+        assert report.available[ResourceType.RAM] == 0
+        assert report.stranded_fraction(ResourceType.RAM) == 0.0
+
+
+class TestLargestPlaceable:
+    def test_initial(self, cluster):
+        largest = largest_placeable(cluster)
+        assert largest == ResourceVector(8, 8, 8)
+
+    def test_tracks_allocation(self, cluster):
+        cluster.boxes(ResourceType.CPU)[0].allocate(5)
+        cluster.boxes(ResourceType.CPU)[1].allocate(2)
+        assert largest_placeable(cluster).cpu == 6
+
+
+class TestRackBalance:
+    def test_balanced_cluster_zero_cv(self, cluster):
+        for box in cluster.boxes(ResourceType.CPU):
+            box.allocate(4)
+        assert rack_balance(cluster, ResourceType.CPU) == pytest.approx(0.0)
+
+    def test_imbalance_raises_cv(self, cluster):
+        cluster.rack(0).boxes(ResourceType.CPU)[0].allocate(8)
+        assert rack_balance(cluster, ResourceType.CPU) > 0.5
+
+    def test_rack_utilization_values(self, cluster):
+        cluster.rack(1).boxes(ResourceType.RAM)[0].allocate(4)
+        assert rack_utilization(cluster, ResourceType.RAM) == [0.0, 0.5]
+
+    def test_empty_cluster_zero(self, cluster):
+        assert rack_balance(cluster, ResourceType.STORAGE) == 0.0
+
+
+def test_fragmentation_summary_keys(cluster):
+    summary = fragmentation_summary(cluster, REF)
+    assert set(summary) == {
+        "stranded_cpu", "stranded_ram", "stranded_storage",
+        "balance_cv_cpu", "balance_cv_ram", "balance_cv_storage",
+    }
+
+
+def test_round_robin_balances_better_than_pinned():
+    """RISA (round-robin) must spread load more evenly than the pinned
+    first-fit ablation — Section 4.2's load-balancing claim."""
+    from repro.config import paper_default
+    from repro.network import NetworkFabric
+    from repro.schedulers import FirstFitRackScheduler, RISAScheduler
+    from repro.workloads import resolve
+    from tests.conftest import make_vm
+
+    spec = paper_default()
+
+    def balance_after(cls):
+        cluster = build_cluster(spec)
+        fabric = NetworkFabric(spec, cluster)
+        scheduler = cls(spec, cluster, fabric)
+        for i in range(120):
+            scheduler.schedule(resolve(make_vm(vm_id=i), spec))
+        return rack_balance(cluster, ResourceType.CPU)
+
+    assert balance_after(RISAScheduler) < balance_after(FirstFitRackScheduler)

@@ -1,0 +1,82 @@
+"""Tests for the ASCII placement heatmaps."""
+
+import pytest
+
+from repro.analysis import box_row, occupancy_table, placement_map, rack_row, shade
+from repro.config import tiny_test
+from repro.topology import build_cluster
+from repro.types import ResourceType
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(tiny_test())
+
+
+class TestShade:
+    def test_extremes(self):
+        assert shade(0.0) == " "
+        assert shade(1.0) == "@"
+
+    def test_clamping(self):
+        assert shade(-0.5) == " "
+        assert shade(1.5) == "@"
+
+    def test_monotone(self):
+        levels = [shade(i / 10) for i in range(11)]
+        order = " .:-=+*#%@"
+        assert all(order.index(a) <= order.index(b) for a, b in zip(levels, levels[1:]))
+
+
+class TestRows:
+    def test_box_row_has_rack_separator(self, cluster):
+        row = box_row(cluster, ResourceType.CPU)
+        assert row.count("|") == 1  # 2 racks
+        assert len(row.replace("|", "")) == 2  # 1 CPU box per rack
+
+    def test_box_row_reflects_allocation(self, cluster):
+        cluster.boxes(ResourceType.CPU)[0].allocate(8)  # full
+        row = box_row(cluster, ResourceType.CPU)
+        assert row[0] == "@"
+        assert row[-1] == " "
+
+    def test_rack_row_aggregates(self, cluster):
+        cluster.rack(1).boxes(ResourceType.RAM)[0].allocate(4)  # half of rack 1
+        row = rack_row(cluster, ResourceType.RAM)
+        assert row[0] == " "
+        assert row[1] != " "
+
+
+class TestRenderings:
+    def test_placement_map_has_all_types(self, cluster):
+        out = placement_map(cluster)
+        for rtype in ResourceType:
+            assert rtype.value in out
+        assert "legend" in out
+
+    def test_rack_level_map(self, cluster):
+        out = placement_map(cluster, per_box=False)
+        assert "|" not in out.splitlines()[1]
+
+    def test_occupancy_table_percentages(self, cluster):
+        cluster.rack(0).boxes(ResourceType.CPU)[0].allocate(4)
+        out = occupancy_table(cluster)
+        assert "50.0%" in out
+        assert out.splitlines()[0].startswith("rack")
+
+    def test_round_robin_band_is_uniform(self):
+        """Visual regression of the round-robin claim: after 2 full rounds
+        of identical VMs every rack cell shades identically."""
+        from repro.config import paper_default
+        from repro.network import NetworkFabric
+        from repro.schedulers import RISAScheduler
+        from repro.workloads import resolve
+        from tests.conftest import make_vm
+
+        spec = paper_default()
+        cluster = build_cluster(spec)
+        scheduler = RISAScheduler(spec, cluster, NetworkFabric(spec, cluster))
+        for i in range(36):
+            scheduler.schedule(resolve(make_vm(vm_id=i), spec))
+        row = rack_row(cluster, ResourceType.CPU)
+        assert len(set(row)) == 1

@@ -1,0 +1,93 @@
+"""Tests for multi-seed statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    MetricStats,
+    bootstrap_ci,
+    compare_over_seeds,
+    stats_table,
+)
+from repro.config import paper_default
+from repro.errors import ReproError
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+class TestBootstrapCI:
+    def test_constant_samples_tight_ci(self):
+        low, high = bootstrap_ci([5.0] * 10)
+        assert low == high == 5.0
+
+    def test_single_sample(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_ci_contains_mean_for_spread_data(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = bootstrap_ci(samples)
+        assert low <= 3.0 <= high
+        assert low < high
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0]
+        low99, high99 = bootstrap_ci(samples, confidence=0.99)
+        low80, high80 = bootstrap_ci(samples, confidence=0.80)
+        assert (high99 - low99) >= (high80 - low80)
+
+    def test_deterministic_given_seed(self):
+        samples = [1.0, 2.0, 7.0, 3.0]
+        assert bootstrap_ci(samples, seed=1) == bootstrap_ci(samples, seed=1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.0)
+
+
+class TestCompareOverSeeds:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        spec = paper_default()
+
+        def factory(seed):
+            return generate_synthetic(SyntheticWorkloadParams(count=250), seed=seed)
+
+        return compare_over_seeds(
+            spec,
+            factory,
+            schedulers=("nulb", "risa"),
+            metrics=("inter_rack_assignments", "avg_cpu_ram_latency_ns"),
+            seeds=(0, 1, 2),
+        )
+
+    def test_keys(self, stats):
+        assert set(stats) == {
+            ("nulb", "inter_rack_assignments"),
+            ("nulb", "avg_cpu_ram_latency_ns"),
+            ("risa", "inter_rack_assignments"),
+            ("risa", "avg_cpu_ram_latency_ns"),
+        }
+
+    def test_sample_counts(self, stats):
+        assert all(len(s.samples) == 3 for s in stats.values())
+
+    def test_risa_beats_nulb_with_separated_cis(self, stats):
+        """The paper's central claim holds across seeds, not just one run:
+        RISA's inter-rack CI sits entirely below NULB's."""
+        risa = stats[("risa", "inter_rack_assignments")]
+        nulb = stats[("nulb", "inter_rack_assignments")]
+        assert risa.ci_high < nulb.ci_low
+
+    def test_risa_latency_constant_at_110(self, stats):
+        risa = stats[("risa", "avg_cpu_ram_latency_ns")]
+        assert risa.samples == (110.0, 110.0, 110.0)
+
+    def test_table_rendering(self, stats):
+        table = stats_table(stats)
+        assert "scheduler" in table and "ci_low" in table
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ReproError):
+            compare_over_seeds(
+                paper_default(), lambda s: [], ("risa",), ("dropped_vms",), seeds=()
+            )

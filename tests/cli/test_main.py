@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_ids_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_scheduler_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "nope"])
+
+
+class TestCommands:
+    def test_experiment_toy1(self, capsys):
+        assert main(["experiment", "toy1"]) == 0
+        out = capsys.readouterr().out
+        assert "toy1" in out and "PASS" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(["simulate", "risa", "--workload", "synthetic", "--count", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduled_vms" in out
+
+    def test_compare_small(self, capsys):
+        code = main(["compare", "--workload", "synthetic", "--count", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "risa_bf" in out
+
+    def test_generate_and_reuse_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["generate", str(trace), "--workload", "synthetic",
+                     "--count", "25"]) == 0
+        assert trace.exists()
+        assert main(["simulate", "risa", "--trace", str(trace)]) == 0
+
+    def test_generate_azure_subset(self, tmp_path):
+        trace = tmp_path / "azure.jsonl"
+        assert main(["generate", str(trace), "--workload", "azure-3000",
+                     "--count", "100"]) == 0
+        from repro.workloads import load_trace
+
+        vms = load_trace(trace)
+        assert len(vms) == 100
+        assert all(vm.storage_gb == 128.0 for vm in vms)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "risa", "--workload", "gcp-9000"])
+
+
+class TestNewCommands:
+    def test_heatmap(self, capsys):
+        code = main(["heatmap", "risa", "--workload", "synthetic", "--count", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend" in out and "stranded_cpu" in out
+
+    def test_heatmap_explicit_until(self, capsys):
+        code = main(["heatmap", "nulb", "--workload", "synthetic",
+                     "--count", "50", "--until", "100.0"])
+        assert code == 0
+        assert "t=100" in capsys.readouterr().out
+
+    def test_events_export(self, tmp_path, capsys):
+        out_file = tmp_path / "events.jsonl"
+        code = main(["events", "risa", str(out_file), "--workload",
+                     "synthetic", "--count", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out
+        from repro.sim import EventLog
+
+        log = EventLog.load(out_file)
+        log.audit()
+        assert log.summary_counts()["arrival"] == 30
+
+    def test_stats(self, capsys):
+        code = main(["stats", "--seeds", "2", "--count", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ci_low" in out and "risa_bf" in out

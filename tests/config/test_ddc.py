@@ -1,0 +1,111 @@
+"""Tests for DDCConfig: Table 1 shape math and unit quantization."""
+
+import pytest
+
+from repro.config import DDCConfig
+from repro.errors import ConfigurationError
+from repro.types import ResourceType
+
+
+class TestPaperDefaults:
+    def test_table1_shape(self):
+        cfg = DDCConfig()
+        assert cfg.num_racks == 18
+        assert cfg.rack_size == 6
+        assert cfg.bricks_per_box == 8
+        assert cfg.units_per_brick == 16
+
+    def test_table1_units(self):
+        cfg = DDCConfig()
+        assert cfg.cpu_cores_per_unit == 4
+        assert cfg.ram_gb_per_unit == 4
+        assert cfg.storage_gb_per_unit == 64
+
+    def test_box_capacity_is_128_units(self):
+        cfg = DDCConfig()
+        for rtype in ResourceType:
+            assert cfg.box_capacity_units(rtype) == 128
+
+    def test_box_capacity_natural(self):
+        cfg = DDCConfig()
+        assert cfg.box_capacity_natural(ResourceType.CPU) == 512  # cores
+        assert cfg.box_capacity_natural(ResourceType.RAM) == 512  # GB
+        assert cfg.box_capacity_natural(ResourceType.STORAGE) == 8192  # GB
+
+    def test_cluster_capacity(self):
+        cfg = DDCConfig()
+        # 18 racks x 2 boxes x 128 units
+        for rtype in ResourceType:
+            assert cfg.cluster_capacity_units(rtype) == 18 * 2 * 128
+
+    def test_total_boxes(self):
+        cfg = DDCConfig()
+        assert cfg.total_boxes() == 18 * 6
+        assert cfg.total_boxes(ResourceType.CPU) == 36
+
+
+class TestQuantization:
+    def test_cpu_cores_round_up(self):
+        cfg = DDCConfig()
+        assert cfg.to_units(ResourceType.CPU, 1) == 1
+        assert cfg.to_units(ResourceType.CPU, 4) == 1
+        assert cfg.to_units(ResourceType.CPU, 5) == 2
+        assert cfg.to_units(ResourceType.CPU, 32) == 8
+
+    def test_ram_gb_round_up(self):
+        cfg = DDCConfig()
+        assert cfg.to_units(ResourceType.RAM, 1) == 1
+        assert cfg.to_units(ResourceType.RAM, 16) == 4
+        assert cfg.to_units(ResourceType.RAM, 56) == 14
+
+    def test_storage_gb_round_up(self):
+        cfg = DDCConfig()
+        assert cfg.to_units(ResourceType.STORAGE, 128) == 2
+
+    def test_fractional_natural_rounds_up(self):
+        cfg = DDCConfig()
+        assert cfg.to_units(ResourceType.RAM, 1.75) == 1
+        assert cfg.to_units(ResourceType.RAM, 4.5) == 2
+
+    def test_raw_mode_one_natural_per_unit(self):
+        cfg = DDCConfig(unit_quantize=False)
+        assert cfg.to_units(ResourceType.CPU, 15) == 15
+        assert cfg.to_units(ResourceType.RAM, 7) == 7
+
+    def test_negative_request_rejected(self):
+        cfg = DDCConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.to_units(ResourceType.CPU, -1)
+
+
+class TestOverridesAndValidation:
+    def test_capacity_override(self):
+        cfg = DDCConfig(box_capacity_override_units={ResourceType.STORAGE: 8})
+        assert cfg.box_capacity_units(ResourceType.STORAGE) == 8
+        assert cfg.box_capacity_units(ResourceType.CPU) == 128
+
+    def test_rejects_nonpositive_racks(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(num_racks=0)
+
+    def test_rejects_missing_type_in_boxes_per_rack(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(boxes_per_rack={ResourceType.CPU: 2})
+
+    def test_rejects_all_zero_boxes(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(
+                boxes_per_rack={
+                    ResourceType.CPU: 0,
+                    ResourceType.RAM: 0,
+                    ResourceType.STORAGE: 0,
+                }
+            )
+
+    def test_rejects_nonpositive_override(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(box_capacity_override_units={ResourceType.CPU: 0})
+
+    def test_rejects_nonpositive_unit_sizes(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(cpu_cores_per_unit=0)

@@ -1,0 +1,65 @@
+"""Tests for EnergyConfig: Section 3.2 constants and latency scaling."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.errors import ConfigurationError
+
+
+class TestPaperConstants:
+    def test_trim_and_switch_power(self):
+        cfg = EnergyConfig()
+        assert cfg.p_trim_cell_w == pytest.approx(22.67e-3)
+        assert cfg.p_sw_cell_w == pytest.approx(13.75e-3)
+
+    def test_alpha_default(self):
+        assert EnergyConfig().alpha == 0.9
+
+    def test_transceiver_energy_per_bit(self):
+        assert EnergyConfig().transceiver_pj_per_bit == 22.5
+
+
+class TestSwitchLatency:
+    def test_scales_with_stage_count(self):
+        cfg = EnergyConfig(per_stage_latency_s=1e-9)
+        # 64 ports -> 11 stages, 256 -> 15, 512 -> 17
+        assert cfg.switch_latency_s(64) == pytest.approx(11e-9)
+        assert cfg.switch_latency_s(256) == pytest.approx(15e-9)
+        assert cfg.switch_latency_s(512) == pytest.approx(17e-9)
+
+    def test_explicit_table_wins(self):
+        cfg = EnergyConfig(switch_latency_table_s={64: 5e-6})
+        assert cfg.switch_latency_s(64) == 5e-6
+        assert cfg.switch_latency_s(256) != 5e-6
+
+    def test_monotone_in_ports(self):
+        cfg = EnergyConfig()
+        assert (
+            cfg.switch_latency_s(64)
+            < cfg.switch_latency_s(256)
+            < cfg.switch_latency_s(512)
+        )
+
+    def test_rejects_tiny_switch(self):
+        with pytest.raises(ConfigurationError):
+            EnergyConfig().switch_latency_s(1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [0.4, 1.1, 0.0])
+    def test_alpha_range_from_paper(self, alpha):
+        # alpha in [0.5, 1.0]: 0.5 = every cell shared, 1 = none shared.
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(alpha=alpha)
+
+    def test_alpha_bounds_accepted(self):
+        assert EnergyConfig(alpha=0.5).alpha == 0.5
+        assert EnergyConfig(alpha=1.0).alpha == 1.0
+
+    def test_rejects_negative_powers(self):
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(p_trim_cell_w=-1.0)
+
+    def test_rejects_nonpositive_time_unit(self):
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(seconds_per_time_unit=0)

@@ -1,0 +1,28 @@
+"""Tests for LatencyConfig: the 110/330 ns constants."""
+
+import pytest
+
+from repro.config import LatencyConfig
+from repro.errors import ConfigurationError
+
+
+def test_paper_values():
+    cfg = LatencyConfig()
+    assert cfg.intra_rack_ns == 110.0
+    assert cfg.inter_rack_ns == 330.0
+
+
+def test_rtt_selection():
+    cfg = LatencyConfig()
+    assert cfg.cpu_ram_rtt_ns(intra_rack=True) == 110.0
+    assert cfg.cpu_ram_rtt_ns(intra_rack=False) == 330.0
+
+
+def test_rejects_inverted_latencies():
+    with pytest.raises(ConfigurationError):
+        LatencyConfig(intra_rack_ns=400.0, inter_rack_ns=300.0)
+
+
+def test_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        LatencyConfig(intra_rack_ns=0.0)

@@ -1,0 +1,66 @@
+"""Tests for NetworkConfig: Table 2 demands and switch radices."""
+
+import pytest
+
+from repro.config import BandwidthBasis, NetworkConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_link_bandwidth(self):
+        assert NetworkConfig().link_bandwidth_gbps == 200.0
+
+    def test_paper_switch_ports(self):
+        cfg = NetworkConfig()
+        assert cfg.box_switch_ports == 64
+        assert cfg.rack_switch_ports == 256
+        assert cfg.inter_rack_switch_ports == 512
+
+    def test_rack_uplinks_fit_inter_rack_switch(self):
+        cfg = NetworkConfig()
+        assert 18 * cfg.rack_uplinks <= cfg.inter_rack_switch_ports
+
+
+class TestDemands:
+    def test_cpu_ram_demand_per_ram_unit(self):
+        cfg = NetworkConfig()
+        # Typical VM: 2 CPU units, 4 RAM units -> 5 Gb/s x 4
+        assert cfg.cpu_ram_demand_gbps(2, 4) == 20.0
+
+    def test_cpu_ram_demand_per_cpu_unit(self):
+        cfg = NetworkConfig(bandwidth_basis=BandwidthBasis.PER_CPU_UNIT)
+        assert cfg.cpu_ram_demand_gbps(2, 4) == 10.0
+
+    def test_cpu_ram_demand_per_max_unit(self):
+        cfg = NetworkConfig(bandwidth_basis=BandwidthBasis.PER_MAX_UNIT)
+        assert cfg.cpu_ram_demand_gbps(2, 4) == 20.0
+        assert cfg.cpu_ram_demand_gbps(7, 4) == 35.0
+
+    def test_ram_storage_demand(self):
+        cfg = NetworkConfig()
+        # 128 GB storage = 2 units -> 1 Gb/s x 2
+        assert cfg.ram_storage_demand_gbps(2) == 2.0
+
+    def test_zero_units_zero_demand(self):
+        cfg = NetworkConfig()
+        assert cfg.cpu_ram_demand_gbps(0, 0) == 0.0
+        assert cfg.ram_storage_demand_gbps(0) == 0.0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_link_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(link_bandwidth_gbps=0)
+
+    def test_rejects_nonpositive_uplinks(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(box_uplinks=0)
+
+    def test_rejects_negative_demand_rates(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(cpu_ram_gbps_per_unit=-1)
+
+    @pytest.mark.parametrize("ports", [3, 6, 100, 1])
+    def test_rejects_non_power_of_two_radix(self, ports):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(box_switch_ports=ports)

@@ -1,0 +1,58 @@
+"""Tests for the configuration presets (Tables 1-3)."""
+
+from repro.config import paper_default, scaled, tiny_test, toy_example
+from repro.types import ResourceType
+
+
+class TestPaperDefault:
+    def test_matches_table1(self):
+        spec = paper_default()
+        assert spec.ddc.num_racks == 18
+        assert spec.ddc.rack_size == 6
+        assert spec.ddc.bricks_per_box == 8
+        assert spec.ddc.units_per_brick == 16
+
+    def test_matches_table2(self):
+        spec = paper_default()
+        assert spec.network.cpu_ram_gbps_per_unit == 5.0
+        assert spec.network.ram_storage_gbps_per_unit == 1.0
+        assert spec.network.link_bandwidth_gbps == 200.0
+
+    def test_latency_constants(self):
+        spec = paper_default()
+        assert spec.latency.intra_rack_ns == 110.0
+        assert spec.latency.inter_rack_ns == 330.0
+
+
+class TestToyExample:
+    def test_table3_capacities_units(self):
+        spec = toy_example()
+        ddc = spec.ddc
+        assert ddc.num_racks == 2
+        # 64 cores, 64 GB, 512 GB per box
+        assert ddc.box_capacity_natural(ResourceType.CPU) == 64
+        assert ddc.box_capacity_natural(ResourceType.RAM) == 64
+        assert ddc.box_capacity_natural(ResourceType.STORAGE) == 512
+
+    def test_table3_capacities_raw(self):
+        spec = toy_example(unit_quantize=False)
+        ddc = spec.ddc
+        assert ddc.box_capacity_units(ResourceType.CPU) == 64
+        assert ddc.box_capacity_units(ResourceType.STORAGE) == 512
+
+
+class TestScaled:
+    def test_rack_count(self):
+        assert scaled(36).ddc.num_racks == 36
+
+    def test_per_rack_shape_preserved(self):
+        spec = scaled(4)
+        assert spec.ddc.rack_size == 6
+        assert spec.ddc.box_capacity_units(ResourceType.CPU) == 128
+
+
+def test_tiny_test_is_small():
+    spec = tiny_test()
+    assert spec.ddc.num_racks == 2
+    assert spec.ddc.rack_size == 3
+    assert spec.ddc.box_capacity_units(ResourceType.CPU) == 8

@@ -1,0 +1,65 @@
+"""Round-trip tests for config serialization."""
+
+import pytest
+
+from repro.config import (
+    load_spec,
+    paper_default,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+    tiny_test,
+    toy_example,
+)
+from repro.config.serialization import (
+    ddc_from_dict,
+    ddc_to_dict,
+    energy_from_dict,
+    energy_to_dict,
+    latency_from_dict,
+    latency_to_dict,
+    network_from_dict,
+    network_to_dict,
+)
+
+
+@pytest.mark.parametrize(
+    "spec_factory", [paper_default, toy_example, tiny_test],
+    ids=["paper", "toy", "tiny"],
+)
+def test_spec_dict_roundtrip(spec_factory):
+    spec = spec_factory()
+    recovered = spec_from_dict(spec_to_dict(spec))
+    assert spec_to_dict(recovered) == spec_to_dict(spec)
+
+
+def test_ddc_roundtrip_preserves_override():
+    spec = toy_example()
+    recovered = ddc_from_dict(ddc_to_dict(spec.ddc))
+    assert recovered.box_capacity_override_units == spec.ddc.box_capacity_override_units
+    assert recovered == spec.ddc or ddc_to_dict(recovered) == ddc_to_dict(spec.ddc)
+
+
+def test_network_roundtrip():
+    net = paper_default().network
+    assert network_from_dict(network_to_dict(net)) == net
+
+
+def test_energy_roundtrip_with_latency_table():
+    from repro.config import EnergyConfig
+
+    cfg = EnergyConfig(switch_latency_table_s={64: 1e-6, 512: 3e-6})
+    recovered = energy_from_dict(energy_to_dict(cfg))
+    assert recovered.switch_latency_table_s == {64: 1e-6, 512: 3e-6}
+
+
+def test_latency_roundtrip():
+    lat = paper_default().latency
+    assert latency_from_dict(latency_to_dict(lat)) == lat
+
+
+def test_file_roundtrip(tmp_path):
+    spec = paper_default()
+    path = tmp_path / "spec.json"
+    save_spec(spec, path)
+    assert spec_to_dict(load_spec(path)) == spec_to_dict(spec)

@@ -1,0 +1,77 @@
+"""Shared fixtures: specs, clusters, fabrics, and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_default, tiny_test, toy_example
+from repro.network import NetworkFabric
+from repro.topology import build_cluster
+from repro.workloads import VMRequest, resolve
+
+
+@pytest.fixture
+def paper_spec():
+    """The Tables 1-2 configuration."""
+    return paper_default()
+
+
+@pytest.fixture
+def tiny_spec():
+    """A 2-rack, 1-box-per-type cluster for fast scheduler tests."""
+    return tiny_test()
+
+
+@pytest.fixture
+def toy_spec():
+    """The Table 3 toy cluster (unit accounting)."""
+    return toy_example()
+
+
+@pytest.fixture
+def paper_cluster(paper_spec):
+    """A freshly built paper-default cluster."""
+    return build_cluster(paper_spec)
+
+
+@pytest.fixture
+def tiny_cluster(tiny_spec):
+    """A freshly built tiny cluster."""
+    return build_cluster(tiny_spec)
+
+
+@pytest.fixture
+def paper_fabric(paper_spec, paper_cluster):
+    """Fabric over the paper cluster."""
+    return NetworkFabric(paper_spec, paper_cluster)
+
+
+@pytest.fixture
+def tiny_fabric(tiny_spec, tiny_cluster):
+    """Fabric over the tiny cluster."""
+    return NetworkFabric(tiny_spec, tiny_cluster)
+
+
+def make_vm(
+    vm_id: int = 0,
+    arrival: float = 0.0,
+    lifetime: float = 100.0,
+    cpu_cores: int = 8,
+    ram_gb: float = 16.0,
+    storage_gb: float = 128.0,
+) -> VMRequest:
+    """Convenience VM factory with the paper's 'typical VM' defaults."""
+    return VMRequest(
+        vm_id=vm_id,
+        arrival=arrival,
+        lifetime=lifetime,
+        cpu_cores=cpu_cores,
+        ram_gb=ram_gb,
+        storage_gb=storage_gb,
+    )
+
+
+@pytest.fixture
+def typical_request(paper_spec):
+    """The Section 4.3.1 'typical VM' resolved against the paper spec."""
+    return resolve(make_vm(), paper_spec)

@@ -1,0 +1,67 @@
+"""Tests for the extension (sensitivity/robustness) experiments."""
+
+import pytest
+
+from repro.experiments import (
+    EXTENSION_EXPERIMENTS,
+    run_alpha_sensitivity,
+    run_bandwidth_basis_sensitivity,
+    run_burstiness_robustness,
+    run_rack_scaling,
+)
+
+_RESULTS = {}
+
+
+def result_of(driver):
+    if driver not in _RESULTS:
+        _RESULTS[driver] = driver(quick=True, seed=0)
+    return _RESULTS[driver]
+
+
+@pytest.mark.parametrize(
+    "driver",
+    [
+        run_alpha_sensitivity,
+        run_bandwidth_basis_sensitivity,
+        run_burstiness_robustness,
+        run_rack_scaling,
+    ],
+    ids=["alpha", "basis", "burst", "scale"],
+)
+def test_extension_shape_checks_pass(driver):
+    result = result_of(driver)
+    assert result.shape_ok, result.report()
+
+
+def test_alpha_rows_monotone_power():
+    """Higher alpha (less cell sharing) means strictly more trim power."""
+    result = result_of(run_alpha_sensitivity)
+    powers = [row["nulb_kw"] for row in result.rows]
+    assert powers == sorted(powers)
+
+
+def test_basis_covers_all_three_readings():
+    result = result_of(run_bandwidth_basis_sensitivity)
+    assert {row["basis"] for row in result.rows} == {
+        "per_ram_unit", "per_cpu_unit", "per_max_unit",
+    }
+
+
+def test_burst_covers_three_processes():
+    result = result_of(run_burstiness_robustness)
+    assert {row["arrivals"] for row in result.rows} == {
+        "poisson", "mmpp", "diurnal",
+    }
+
+
+def test_scaling_latency_pinned():
+    result = result_of(run_rack_scaling)
+    for row in result.rows:
+        assert row["risa_latency"] <= 115.5
+
+
+def test_extension_registry():
+    assert set(EXTENSION_EXPERIMENTS) == {
+        "ext_alpha", "ext_basis", "ext_burst", "ext_scale",
+    }

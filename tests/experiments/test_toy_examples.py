@@ -1,0 +1,45 @@
+"""Tests pinning the Section 4.3 toy-example reproductions."""
+
+from repro.experiments import run_toy_example_1, run_toy_example_2
+from repro.experiments.toy_examples import (
+    TABLE4_CPU_REQUESTS,
+    TABLE4_RISA_BF_EXPECTED_RAW,
+    TABLE4_RISA_EXPECTED,
+    _run_table4,
+)
+
+
+class TestToyExample1:
+    def test_all_checks_pass(self):
+        result = run_toy_example_1()
+        assert result.shape_ok, result.report()
+
+    def test_rows_shape(self):
+        result = run_toy_example_1()
+        assert {r["scheduler"] for r in result.rows} == {"nulb", "risa"}
+
+
+class TestToyExample2:
+    def test_all_checks_pass(self):
+        result = run_toy_example_2()
+        assert result.shape_ok, result.report()
+
+    def test_risa_unit_accounting_column(self):
+        assert tuple(_run_table4("risa", unit_quantize=True)) == TABLE4_RISA_EXPECTED
+
+    def test_risa_bf_raw_accounting_column(self):
+        assert (
+            tuple(_run_table4("risa_bf", unit_quantize=False))
+            == TABLE4_RISA_BF_EXPECTED_RAW
+        )
+
+    def test_vm6_dropped_under_conservation(self):
+        """The paper schedules VM 6 on RISA-BF, but 100 cores were requested
+        against 96 available — a conserving implementation must drop it."""
+        assert sum(TABLE4_CPU_REQUESTS) == 100
+        outcomes = _run_table4("risa_bf", unit_quantize=False)
+        assert outcomes[6] is None
+
+    def test_bf_alternates_boxes_early(self):
+        outcomes = _run_table4("risa_bf", unit_quantize=False)
+        assert outcomes[0] == 1 and outcomes[2] == 0

@@ -1,0 +1,88 @@
+"""End-to-end integration: full pipeline from trace to figure shapes.
+
+These tests exercise the whole stack (workload -> resolve -> DES -> scheduler
+-> fabric -> metrics -> summary) on moderately sized workloads and pin the
+paper's cross-cutting relationships between metrics.
+"""
+
+import pytest
+
+from repro.analysis import compare_schedulers
+from repro.config import paper_default
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic, synthesize_azure
+
+
+@pytest.fixture(scope="module")
+def synthetic_comparison():
+    spec = paper_default()
+    vms = generate_synthetic(SyntheticWorkloadParams(count=700), seed=0)
+    return compare_schedulers(spec, vms)
+
+
+@pytest.fixture(scope="module")
+def azure_comparison():
+    spec = paper_default()
+    vms = synthesize_azure(3000, seed=0)[:1200]
+    return compare_schedulers(spec, vms)
+
+
+class TestSyntheticShapes:
+    def test_baselines_dwarf_risa_on_inter_rack(self, synthetic_comparison):
+        inter = synthetic_comparison.metric("inter_rack_assignments")
+        assert min(inter["nulb"], inter["nalb"]) > 5 * max(
+            inter["risa"], inter["risa_bf"], 1
+        )
+
+    def test_latency_tracks_inter_rack(self, synthetic_comparison):
+        """Latency must be a deterministic function of the CPU-RAM split mix:
+        110 + 220 x (fraction of cpu-ram-split VMs)."""
+        for result in synthetic_comparison.results:
+            records = [r for r in result.records if r.scheduled]
+            split = sum(1 for r in records if not r.cpu_ram_intra) / len(records)
+            expected = 110.0 + 220.0 * split
+            assert result.summary.avg_cpu_ram_latency_ns == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_power_ordering_follows_inter_rack(self, synthetic_comparison):
+        power = synthetic_comparison.metric("avg_optical_power_kw")
+        assert power["risa"] < power["nulb"]
+        assert power["risa_bf"] < power["nalb"]
+
+    def test_compute_utilization_nearly_equal_across_algorithms(
+        self, synthetic_comparison
+    ):
+        """Section 5.1 quotes a single utilization for all algorithms."""
+        cpu = synthetic_comparison.metric("avg_cpu_utilization")
+        values = list(cpu.values())
+        assert max(values) - min(values) < 0.05
+
+
+class TestAzureShapes:
+    def test_no_drops(self, azure_comparison):
+        drops = azure_comparison.metric("dropped_vms")
+        assert all(v == 0 for v in drops.values())
+
+    def test_risa_family_fully_intra(self, azure_comparison):
+        inter = azure_comparison.metric("inter_rack_assignments")
+        assert inter["risa"] == 0 and inter["risa_bf"] == 0
+
+    def test_intra_utilization_identical_when_no_drops(self, azure_comparison):
+        intra = azure_comparison.metric("avg_intra_net_utilization")
+        values = list(intra.values())
+        assert max(values) - min(values) <= 0.02 * max(values)
+
+    def test_inter_utilization_zero_for_risa(self, azure_comparison):
+        inter = azure_comparison.metric("avg_inter_net_utilization")
+        assert inter["risa"] == 0.0 and inter["risa_bf"] == 0.0
+
+    def test_energy_gap_matches_power_gap(self, azure_comparison):
+        """Average power ratio must equal total energy ratio (same makespan)."""
+        nulb = azure_comparison.summary("nulb")
+        risa = azure_comparison.summary("risa")
+        assert nulb.makespan == pytest.approx(risa.makespan, rel=0.01)
+        assert (
+            nulb.avg_optical_power_kw / risa.avg_optical_power_kw
+        ) == pytest.approx(
+            nulb.total_optical_energy_j / risa.total_optical_energy_j, rel=0.02
+        )

@@ -1,0 +1,88 @@
+"""Tests for MetricsCollector bookkeeping."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.metrics import MetricsCollector
+from repro.network import NetworkFabric
+from repro.schedulers import create_scheduler
+from repro.topology import build_cluster
+from repro.types import ResourceType
+from repro.workloads import resolve
+from tests.conftest import make_vm
+
+
+@pytest.fixture
+def env():
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = create_scheduler("risa", spec, cluster, fabric)
+    collector = MetricsCollector(spec, cluster, fabric)
+    return spec, cluster, fabric, scheduler, collector
+
+
+def small_request(spec, vm_id=0):
+    return resolve(
+        make_vm(vm_id=vm_id, cpu_cores=4, ram_gb=4.0, storage_gb=64.0), spec
+    )
+
+
+def test_assignment_record(env):
+    spec, cluster, fabric, scheduler, collector = env
+    placement = scheduler.schedule(small_request(spec))
+    collector.record_assignment(placement, now=1.0)
+    record = collector.records[0]
+    assert record.scheduled
+    assert record.intra_rack
+    assert record.cpu_ram_latency_ns == 110.0
+    assert record.optical_energy_j > 0
+
+
+def test_drop_record(env):
+    spec, cluster, fabric, scheduler, collector = env
+    collector.record_drop(small_request(spec), now=2.0)
+    record = collector.records[0]
+    assert not record.scheduled
+    assert record.cpu_ram_latency_ns is None
+    assert record.optical_energy_j == 0.0
+
+
+def test_gauges_integrate_utilization(env):
+    spec, cluster, fabric, scheduler, collector = env
+    placement = scheduler.schedule(small_request(spec))
+    collector.record_assignment(placement, now=0.0)
+    scheduler.release(placement)
+    collector.record_release(now=10.0)
+    collector.record_release(now=20.0)
+    # Utilization was positive for the first half of the window, 0 after.
+    avg = collector.average_utilization("intra_net")
+    assert 0 < avg < collector.peak_utilization("intra_net")
+
+
+def test_makespan_from_first_arrival(env):
+    spec, cluster, fabric, scheduler, collector = env
+    placement = scheduler.schedule(small_request(spec))
+    collector.record_assignment(placement, now=5.0)
+    collector.record_release(now=25.0)
+    assert collector.makespan == 20.0
+
+
+def test_scheduler_time_accumulates(env):
+    *_, collector = env
+    collector.add_scheduler_time(0.5)
+    collector.add_scheduler_time(0.25)
+    assert collector.scheduler_time_s == pytest.approx(0.75)
+
+
+def test_compute_utilization_averages_keys(env):
+    *_, collector = env
+    averages = collector.compute_utilization_averages()
+    assert set(averages) == set(ResourceType)
+
+
+def test_gauge_names(env):
+    *_, collector = env
+    assert set(collector.gauge_names()) == {
+        "intra_net", "inter_net", "cpu", "ram", "storage"
+    }

@@ -1,0 +1,68 @@
+"""Tests for the time-weighted gauge."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.metrics import TimeWeightedGauge
+
+
+def test_constant_signal_average():
+    gauge = TimeWeightedGauge(initial_value=0.5)
+    gauge.advance(10.0)
+    assert gauge.average() == pytest.approx(0.5)
+
+
+def test_step_signal_average():
+    gauge = TimeWeightedGauge()
+    gauge.update(4.0, 1.0)  # 0 for 4 units
+    gauge.advance(8.0)  # 1 for 4 units
+    assert gauge.average() == pytest.approx(0.5)
+
+
+def test_average_until_extends_window():
+    gauge = TimeWeightedGauge()
+    gauge.update(2.0, 1.0)
+    assert gauge.average(until=4.0) == pytest.approx(0.5)
+
+
+def test_peak_tracking():
+    gauge = TimeWeightedGauge()
+    gauge.update(1.0, 0.3)
+    gauge.update(2.0, 0.9)
+    gauge.update(3.0, 0.1)
+    assert gauge.peak == 0.9
+
+
+def test_clock_must_not_go_backwards():
+    gauge = TimeWeightedGauge()
+    gauge.advance(5.0)
+    with pytest.raises(SimulationError):
+        gauge.advance(4.0)
+
+
+def test_zero_duration_average_returns_current_value():
+    gauge = TimeWeightedGauge(initial_value=0.7, start_time=3.0)
+    assert gauge.average() == 0.7
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.01, 10.0), st.floats(0.0, 1.0)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_average_bounded_by_extremes(steps):
+    """The time-weighted average always lies within observed values."""
+    gauge = TimeWeightedGauge()
+    t = 0.0
+    values = [0.0]
+    for dt, value in steps:
+        t += dt
+        gauge.update(t, value)
+        values.append(value)
+    avg = gauge.average()
+    assert min(values) - 1e-9 <= avg <= max(values) + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for run summarization."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.metrics import summarize
+from repro.sim import DDCSimulator
+from tests.conftest import make_vm
+
+
+def run_small(scheduler="risa", n=4):
+    spec = tiny_test()
+    sim = DDCSimulator(spec, scheduler)
+    vms = [
+        make_vm(vm_id=i, arrival=float(i), lifetime=50.0, cpu_cores=4,
+                ram_gb=4.0, storage_gb=64.0)
+        for i in range(n)
+    ]
+    result = sim.run(vms)
+    return sim, result
+
+
+def test_counts_consistent():
+    sim, result = run_small()
+    s = result.summary
+    assert s.total_vms == 4
+    assert s.scheduled_vms + s.dropped_vms == s.total_vms
+
+
+def test_inter_rack_percent_definition():
+    sim, result = run_small()
+    s = result.summary
+    assert s.inter_rack_percent == pytest.approx(
+        100.0 * s.inter_rack_assignments / s.total_vms
+    )
+
+
+def test_latency_average_over_scheduled_only():
+    sim, result = run_small()
+    assert result.summary.avg_cpu_ram_latency_ns == 110.0
+
+
+def test_energy_fields_consistent():
+    sim, result = run_small()
+    s = result.summary
+    assert s.total_optical_energy_j == pytest.approx(
+        s.switch_energy_j + s.transceiver_energy_j
+    )
+    assert s.avg_optical_power_kw > 0
+
+
+def test_summarize_direct():
+    sim, result = run_small()
+    again = summarize("risa", sim.collector)
+    assert again.scheduled_vms == result.summary.scheduled_vms
+
+
+def test_as_dict_round():
+    sim, result = run_small()
+    d = result.summary.as_dict()
+    assert d["scheduler"] == "risa"
+    assert isinstance(d["avg_optical_power_kw"], float)
+
+
+def test_empty_run_summary():
+    spec = tiny_test()
+    sim = DDCSimulator(spec, "risa")
+    result = sim.run([])
+    s = result.summary
+    assert s.total_vms == 0
+    assert s.avg_cpu_ram_latency_ns == 0.0
+    assert s.makespan == 0.0

@@ -1,0 +1,69 @@
+"""Tests for LinkBundle selection policies (NULB vs NALB semantics)."""
+
+import pytest
+
+from repro.errors import NetworkAllocationError
+from repro.network import Link, LinkBundle, LinkSelectionPolicy
+from repro.types import LinkTier
+
+
+def make_bundle(n=3, capacity=100.0):
+    links = [
+        Link(i, LinkTier.INTRA_RACK, capacity, "box:0", "rack:0") for i in range(n)
+    ]
+    return LinkBundle("test", links), links
+
+
+def test_aggregate_capacities():
+    bundle, _ = make_bundle(4, 50.0)
+    assert bundle.capacity_gbps == 200.0
+    assert bundle.avail_gbps == 200.0
+
+
+def test_first_fit_picks_first_feasible():
+    bundle, links = make_bundle()
+    links[0].reserve(95.0)
+    chosen = bundle.select(10.0, LinkSelectionPolicy.FIRST_FIT)
+    assert chosen is links[1]
+
+
+def test_most_available_picks_emptiest():
+    bundle, links = make_bundle()
+    links[0].reserve(50.0)
+    links[1].reserve(20.0)
+    chosen = bundle.select(10.0, LinkSelectionPolicy.MOST_AVAILABLE)
+    assert chosen is links[2]
+
+
+def test_most_available_tie_keeps_first():
+    bundle, links = make_bundle()
+    chosen = bundle.select(10.0, LinkSelectionPolicy.MOST_AVAILABLE)
+    assert chosen is links[0]
+
+
+def test_no_single_link_fits():
+    bundle, links = make_bundle(2, 100.0)
+    links[0].reserve(95.0)
+    links[1].reserve(95.0)
+    # 10 Gb/s total is available but no single link can carry 10.
+    assert bundle.avail_gbps == pytest.approx(10.0)
+    assert not bundle.can_fit(10.0)
+    assert bundle.select(10.0, LinkSelectionPolicy.FIRST_FIT) is None
+    assert bundle.select(10.0, LinkSelectionPolicy.MOST_AVAILABLE) is None
+
+
+def test_max_link_avail():
+    bundle, links = make_bundle()
+    links[0].reserve(40.0)
+    assert bundle.max_link_avail_gbps() == pytest.approx(100.0)
+
+
+def test_empty_bundle_rejected():
+    with pytest.raises(NetworkAllocationError):
+        LinkBundle("empty", [])
+
+
+def test_select_does_not_reserve():
+    bundle, links = make_bundle()
+    bundle.select(10.0, LinkSelectionPolicy.FIRST_FIT)
+    assert bundle.used_gbps == 0.0

@@ -1,0 +1,169 @@
+"""Tests for the two-tier NetworkFabric: paths, circuits, utilization."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.errors import NetworkAllocationError
+from repro.network import LinkSelectionPolicy, NetworkFabric
+from repro.topology import build_cluster
+from repro.types import LinkTier, ResourceType
+
+
+@pytest.fixture
+def env():
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    return spec, cluster, fabric
+
+
+def boxes_of(cluster, rtype, rack):
+    return [b for b in cluster.boxes(rtype) if b.rack_index == rack]
+
+
+class TestPaths:
+    def test_intra_rack_path(self, env):
+        spec, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        bundles, ports, intra = fabric.path_bundles(cpu.box_id, ram.box_id)
+        assert intra
+        assert len(bundles) == 2
+        assert ports == (64, 256, 64)
+
+    def test_inter_rack_path(self, env):
+        spec, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 1)[0]
+        bundles, ports, intra = fabric.path_bundles(cpu.box_id, ram.box_id)
+        assert not intra
+        assert len(bundles) == 4
+        assert ports == (64, 256, 512, 256, 64)
+
+    def test_same_box_rejected(self, env):
+        _, cluster, fabric = env
+        box = cluster.boxes(ResourceType.CPU)[0]
+        with pytest.raises(NetworkAllocationError):
+            fabric.path_bundles(box.box_id, box.box_id)
+
+
+class TestCircuits:
+    def test_allocate_and_release_roundtrip(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        circuit = fabric.allocate_flow(cpu.box_id, ram.box_id, 30.0)
+        assert circuit is not None
+        assert circuit.intra_rack
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) == pytest.approx(60.0)
+        fabric.release(circuit)
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) == pytest.approx(0.0)
+
+    def test_inter_rack_circuit_uses_both_tiers(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 1)[0]
+        circuit = fabric.allocate_flow(cpu.box_id, ram.box_id, 10.0)
+        assert circuit is not None and not circuit.intra_rack
+        assert circuit.hop_count == 4
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) == pytest.approx(20.0)
+        assert fabric.tier_used_gbps(LinkTier.INTER_RACK) == pytest.approx(20.0)
+
+    def test_zero_demand_circuit_reserves_nothing(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        circuit = fabric.allocate_flow(cpu.box_id, ram.box_id, 0.0)
+        assert circuit is not None
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) == 0.0
+
+    def test_exhaustion_returns_none(self, env):
+        spec, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        # tiny_test has 2 uplinks of 200 Gb/s per box.
+        circuits = []
+        for _ in range(2):
+            c = fabric.allocate_flow(cpu.box_id, ram.box_id, 200.0)
+            assert c is not None
+            circuits.append(c)
+        assert fabric.allocate_flow(cpu.box_id, ram.box_id, 1.0) is None
+        for c in circuits:
+            fabric.release(c)
+        assert fabric.allocate_flow(cpu.box_id, ram.box_id, 1.0) is not None
+
+
+class TestAtomicMultiFlow:
+    def test_all_or_nothing(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        sto = boxes_of(cluster, ResourceType.STORAGE, 0)[0]
+        # Second flow cannot fit -> nothing must remain reserved.
+        result = fabric.allocate_flows(
+            [(cpu.box_id, ram.box_id, 100.0), (ram.box_id, sto.box_id, 10_000.0)]
+        )
+        assert result is None
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) == pytest.approx(0.0)
+
+    def test_successful_pair(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        sto = boxes_of(cluster, ResourceType.STORAGE, 0)[0]
+        circuits = fabric.allocate_flows(
+            [(cpu.box_id, ram.box_id, 20.0), (ram.box_id, sto.box_id, 2.0)]
+        )
+        assert circuits is not None and len(circuits) == 2
+
+    def test_shared_bundle_contention_visible(self, env):
+        """Two flows through the same RAM box see each other's reservation."""
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        sto = boxes_of(cluster, ResourceType.STORAGE, 0)[0]
+        # RAM bundle: 2 links x 200. Two flows of 150 fill distinct links;
+        # a third 150 flow cannot fit any single link.
+        assert fabric.allocate_flows(
+            [
+                (cpu.box_id, ram.box_id, 150.0),
+                (ram.box_id, sto.box_id, 150.0),
+                (cpu.box_id, ram.box_id, 150.0),
+            ]
+        ) is None
+
+
+class TestUtilization:
+    def test_tier_capacity(self, env):
+        spec, cluster, fabric = env
+        # 6 boxes x 2 uplinks x 200 ; 2 racks x 2 uplinks x 200
+        assert fabric.tier_capacity_gbps(LinkTier.INTRA_RACK) == pytest.approx(2400.0)
+        assert fabric.tier_capacity_gbps(LinkTier.INTER_RACK) == pytest.approx(800.0)
+
+    def test_utilization_fraction(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        fabric.allocate_flow(cpu.box_id, ram.box_id, 120.0)
+        assert fabric.intra_rack_utilization() == pytest.approx(240.0 / 2400.0)
+        assert fabric.inter_rack_utilization() == 0.0
+
+
+class TestPolicies:
+    def test_first_fit_vs_most_available_link_choice(self, env):
+        _, cluster, fabric = env
+        cpu = boxes_of(cluster, ResourceType.CPU, 0)[0]
+        ram = boxes_of(cluster, ResourceType.RAM, 0)[0]
+        c1 = fabric.allocate_flow(
+            cpu.box_id, ram.box_id, 10.0, LinkSelectionPolicy.FIRST_FIT
+        )
+        c2 = fabric.allocate_flow(
+            cpu.box_id, ram.box_id, 10.0, LinkSelectionPolicy.FIRST_FIT
+        )
+        # First-fit stacks onto the same links.
+        assert c1.links[0] is c2.links[0]
+        c3 = fabric.allocate_flow(
+            cpu.box_id, ram.box_id, 10.0, LinkSelectionPolicy.MOST_AVAILABLE
+        )
+        # Most-available avoids the loaded link.
+        assert c3.links[0] is not c1.links[0]

@@ -1,0 +1,66 @@
+"""Tests for Link bandwidth accounting."""
+
+import pytest
+
+from repro.errors import NetworkAllocationError
+from repro.network import Link
+from repro.types import LinkTier
+
+
+def make_link(capacity=200.0):
+    return Link(0, LinkTier.INTRA_RACK, capacity, "box:0", "rack:0")
+
+
+def test_initial_state():
+    link = make_link()
+    assert link.avail_gbps == 200.0
+    assert link.used_gbps == 0.0
+
+
+def test_reserve_and_free():
+    link = make_link()
+    link.reserve(35.0)
+    assert link.avail_gbps == pytest.approx(165.0)
+    link.free(35.0)
+    assert link.used_gbps == pytest.approx(0.0)
+
+
+def test_can_fit_boundary():
+    link = make_link(10.0)
+    link.reserve(10.0)
+    assert not link.can_fit(0.1)
+    assert link.can_fit(0.0)
+
+
+def test_over_reserve_rejected():
+    link = make_link(10.0)
+    with pytest.raises(NetworkAllocationError):
+        link.reserve(10.5)
+
+
+def test_over_free_rejected():
+    link = make_link()
+    link.reserve(5.0)
+    with pytest.raises(NetworkAllocationError):
+        link.free(6.0)
+
+
+def test_negative_amounts_rejected():
+    link = make_link()
+    with pytest.raises(NetworkAllocationError):
+        link.reserve(-1.0)
+    with pytest.raises(NetworkAllocationError):
+        link.free(-1.0)
+
+
+def test_nonpositive_capacity_rejected():
+    with pytest.raises(NetworkAllocationError):
+        Link(0, LinkTier.INTRA_RACK, 0.0, "a", "b")
+
+
+def test_repeated_cycles_do_not_drift():
+    link = make_link()
+    for _ in range(10_000):
+        link.reserve(7.3)
+        link.free(7.3)
+    assert link.used_gbps == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,57 @@
+"""Property-based tests for fabric bandwidth conservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_test
+from repro.network import LinkSelectionPolicy, NetworkFabric
+from repro.topology import build_cluster
+from repro.types import LinkTier, ResourceType
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 1),  # cpu rack
+            st.integers(0, 1),  # ram rack
+            st.floats(0.5, 120.0, allow_nan=False),
+            st.sampled_from(list(LinkSelectionPolicy)),
+            st.booleans(),  # release afterwards
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_bandwidth_conserved_under_random_flows(script):
+    """Tier used-bandwidth counters always equal the sum over live circuits,
+    no link ever exceeds capacity, and full release restores zero."""
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    live = []
+    for cpu_rack, ram_rack, demand, policy, do_release in script:
+        cpu = [b for b in cluster.boxes(ResourceType.CPU) if b.rack_index == cpu_rack][0]
+        ram = [b for b in cluster.boxes(ResourceType.RAM) if b.rack_index == ram_rack][0]
+        circuit = fabric.allocate_flow(cpu.box_id, ram.box_id, demand, policy)
+        if circuit is not None:
+            live.append(circuit)
+        if do_release and live:
+            fabric.release(live.pop())
+
+        for tier in LinkTier:
+            expected = sum(
+                c.demand_gbps
+                for c in live
+                for link in c.links
+                if link.tier is tier
+            )
+            assert abs(fabric.tier_used_gbps(tier) - expected) < 1e-6
+        for c in live:
+            for link in c.links:
+                assert link.used_gbps <= link.capacity_gbps + 1e-9
+
+    for circuit in live:
+        fabric.release(circuit)
+    for tier in LinkTier:
+        assert abs(fabric.tier_used_gbps(tier)) < 1e-6

@@ -1,0 +1,49 @@
+"""Tests for Beneš fabric combinatorics (paper refs [6], [10])."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.photonics import cells_per_stage, path_cells, stages, total_cells
+
+
+@pytest.mark.parametrize(
+    "ports, expected_stages", [(2, 1), (4, 3), (8, 5), (64, 11), (256, 15), (512, 17)]
+)
+def test_stage_counts(ports, expected_stages):
+    assert stages(ports) == expected_stages
+
+
+@pytest.mark.parametrize("ports, expected", [(4, 6), (8, 20), (64, 352), (512, 4352)])
+def test_total_cells(ports, expected):
+    assert total_cells(ports) == expected
+
+
+def test_path_cells_equals_stages():
+    for ports in (2, 4, 8, 16, 64, 256, 512):
+        assert path_cells(ports) == stages(ports)
+
+
+def test_cells_per_stage():
+    assert cells_per_stage(8) == 4
+    assert cells_per_stage(512) == 256
+
+
+@pytest.mark.parametrize("ports", [3, 5, 6, 100])
+def test_non_power_of_two_rejected(ports):
+    with pytest.raises(ConfigurationError):
+        stages(ports)
+
+
+def test_too_few_ports_rejected():
+    with pytest.raises(ConfigurationError):
+        stages(1)
+
+
+@given(st.integers(1, 12))
+def test_structure_identity(k):
+    """total = per_stage * stages, and path length is odd."""
+    ports = 2**k
+    assert total_cells(ports) == cells_per_stage(ports) * stages(ports)
+    assert path_cells(ports) % 2 == 1

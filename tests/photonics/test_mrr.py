@@ -1,0 +1,77 @@
+"""Tests for the MRR device-physics model."""
+
+import math
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.errors import ConfigurationError
+from repro.photonics.mrr import MRRCell, paper_cell
+
+
+class TestGeometry:
+    def test_circumference(self):
+        cell = MRRCell(radius_um=5.0)
+        assert cell.circumference_um == pytest.approx(2 * math.pi * 5.0)
+
+    def test_fsr_reasonable_for_5um_ring(self):
+        # ~18 nm FSR is the textbook value for a 5 um silicon ring.
+        fsr = MRRCell().fsr_nm()
+        assert 15.0 < fsr < 22.0
+
+    def test_fsr_shrinks_with_radius(self):
+        assert MRRCell(radius_um=10.0).fsr_nm() < MRRCell(radius_um=5.0).fsr_nm()
+
+
+class TestThermalTrimming:
+    def test_shift_linear_in_temperature(self):
+        cell = MRRCell()
+        assert cell.shift_for_delta_t_nm(10.0) == pytest.approx(
+            2 * cell.shift_for_delta_t_nm(5.0)
+        )
+
+    def test_heater_power_sign_insensitive(self):
+        cell = MRRCell()
+        assert cell.heater_power_for_shift_mw(-2.0) == pytest.approx(
+            cell.heater_power_for_shift_mw(2.0)
+        )
+
+    def test_expected_trim_power_matches_paper_constant(self):
+        """The calibrated default cell reproduces P_trim = 22.67 mW."""
+        expected = paper_cell().expected_trim_power_mw()
+        paper_mw = EnergyConfig().p_trim_cell_w * 1e3
+        assert expected == pytest.approx(paper_mw, rel=0.01)
+
+    def test_switching_power_near_paper_constant(self):
+        """The half-spacing detuning lands near P_sw = 13.75 mW."""
+        sw = paper_cell().switching_power_mw()
+        paper_mw = EnergyConfig().p_sw_cell_w * 1e3
+        assert sw == pytest.approx(paper_mw, rel=0.05)
+
+    def test_gaussian_mean_abs_identity(self):
+        """E[|N(0, sigma)|] = sigma * sqrt(2/pi) is what the expectation
+        uses; cross-check numerically."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        sigma = 8.1
+        samples = np.abs(rng.normal(0, sigma, 200_000))
+        assert samples.mean() == pytest.approx(
+            sigma * math.sqrt(2 / math.pi), rel=0.01
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"radius_um": 0},
+            {"group_index": -1},
+            {"thermo_optic_nm_per_k": 0},
+            {"heater_mw_per_k": 0},
+            {"process_sigma_nm": 0},
+        ],
+    )
+    def test_nonpositive_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MRRCell(**kwargs)

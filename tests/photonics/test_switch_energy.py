@@ -1,0 +1,68 @@
+"""Tests for Equation (1): per-switch circuit energy."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.photonics import (
+    path_switch_energy_j,
+    switch_energy_j,
+    switch_reconfig_energy_j,
+    switch_trim_power_w,
+)
+
+
+@pytest.fixture
+def energy():
+    return EnergyConfig()
+
+
+def test_equation_1_by_hand(energy):
+    """E = (n/2) P_sw lat + alpha n P_trim T, n = 11 for 64 ports."""
+    n = 11
+    lat = energy.switch_latency_s(64)
+    lifetime = 100.0
+    expected = (n / 2) * 13.75e-3 * lat + 0.9 * n * 22.67e-3 * lifetime
+    assert switch_energy_j(64, lifetime, energy) == pytest.approx(expected)
+
+
+def test_zero_lifetime_leaves_only_reconfiguration(energy):
+    assert switch_energy_j(64, 0.0, energy) == pytest.approx(
+        switch_reconfig_energy_j(64, energy)
+    )
+
+
+def test_trim_power(energy):
+    assert switch_trim_power_w(64, energy) == pytest.approx(0.9 * 11 * 22.67e-3)
+
+
+def test_energy_grows_with_switch_size(energy):
+    small = switch_energy_j(64, 10.0, energy)
+    large = switch_energy_j(512, 10.0, energy)
+    assert large > small
+
+
+def test_energy_linear_in_lifetime_trim_term(energy):
+    e1 = switch_energy_j(256, 1.0, energy)
+    e2 = switch_energy_j(256, 2.0, energy)
+    reconfig = switch_reconfig_energy_j(256, energy)
+    assert (e2 - reconfig) == pytest.approx(2 * (e1 - reconfig))
+
+
+def test_path_energy_sums_switches(energy):
+    path = (64, 256, 64)
+    total = path_switch_energy_j(path, 5.0, energy)
+    assert total == pytest.approx(
+        switch_energy_j(64, 5.0, energy) * 2 + switch_energy_j(256, 5.0, energy)
+    )
+
+
+def test_inter_rack_path_costs_more_than_intra(energy):
+    """The physical root of Figure 9: 5 switches incl. a 512-port one."""
+    intra = path_switch_energy_j((64, 256, 64), 100.0, energy)
+    inter = path_switch_energy_j((64, 256, 512, 256, 64), 100.0, energy)
+    assert inter > 1.5 * intra
+
+
+def test_negative_lifetime_rejected(energy):
+    with pytest.raises(ValueError):
+        switch_energy_j(64, -1.0, energy)

@@ -1,0 +1,38 @@
+"""Tests for the 22.5 pJ/bit transceiver energy model."""
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.photonics import transceiver_energy_j, transceiver_power_w
+
+
+@pytest.fixture
+def energy():
+    return EnergyConfig()
+
+
+def test_energy_by_hand(energy):
+    # 10 Gb/s x 2 s x 1 link = 2e10 bits; x 22.5 pJ = 0.45 J
+    assert transceiver_energy_j(10.0, 2.0, 1, energy) == pytest.approx(0.45)
+
+
+def test_energy_scales_with_links(energy):
+    one = transceiver_energy_j(5.0, 1.0, 1, energy)
+    four = transceiver_energy_j(5.0, 1.0, 4, energy)
+    assert four == pytest.approx(4 * one)
+
+
+def test_power_consistent_with_energy(energy):
+    power = transceiver_power_w(10.0, 2, energy)
+    assert power * 3.0 == pytest.approx(transceiver_energy_j(10.0, 3.0, 2, energy))
+
+
+def test_zero_demand_zero_energy(energy):
+    assert transceiver_energy_j(0.0, 100.0, 4, energy) == 0.0
+
+
+def test_negative_inputs_rejected(energy):
+    with pytest.raises(ValueError):
+        transceiver_energy_j(-1.0, 1.0, 1, energy)
+    with pytest.raises(ValueError):
+        transceiver_energy_j(1.0, -1.0, 1, energy)

@@ -1,0 +1,81 @@
+"""Tests for the shared Scheduler commit/rollback path and Placement."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.network import NetworkFabric
+from repro.schedulers import create_scheduler
+from repro.topology import build_cluster
+from repro.types import LinkTier, ResourceType
+from repro.workloads import resolve
+from tests.conftest import make_vm
+
+
+@pytest.fixture
+def env():
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = create_scheduler("risa", spec, cluster, fabric)
+    return spec, cluster, fabric, scheduler
+
+
+def small_request(spec, **kwargs):
+    defaults = dict(cpu_cores=4, ram_gb=4.0, storage_gb=64.0)
+    defaults.update(kwargs)
+    return resolve(make_vm(**defaults), spec)
+
+
+class TestCommit:
+    def test_successful_commit_reserves_everything(self, env):
+        spec, cluster, fabric, scheduler = env
+        placement = scheduler.schedule(small_request(spec))
+        assert placement is not None
+        assert cluster.total_avail(ResourceType.CPU) == 15
+        assert cluster.total_avail(ResourceType.RAM) == 15
+        assert cluster.total_avail(ResourceType.STORAGE) == 15
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) > 0
+
+    def test_release_restores_everything(self, env):
+        spec, cluster, fabric, scheduler = env
+        placement = scheduler.schedule(small_request(spec))
+        scheduler.release(placement)
+        for rtype in ResourceType:
+            assert cluster.total_avail(rtype) == cluster.total_capacity(rtype)
+        assert fabric.tier_used_gbps(LinkTier.INTRA_RACK) == pytest.approx(0.0)
+
+    def test_network_failure_rolls_back_compute(self, env):
+        spec, cluster, fabric, scheduler = env
+        # Saturate every intra-rack link so the network phase must fail.
+        snapshot = cluster.snapshot()
+        blockers = []
+        for box in cluster.all_boxes():
+            bundle = fabric.box_bundle(box.box_id)
+            for link in bundle.links:
+                link.reserve(link.avail_gbps)
+                blockers.append(link)
+        placement = scheduler.schedule(small_request(spec))
+        assert placement is None
+        # Compute allocations must have been rolled back exactly.
+        assert cluster.snapshot() == snapshot
+
+    def test_zero_storage_vm_has_single_circuit(self, env):
+        spec, cluster, fabric, scheduler = env
+        placement = scheduler.schedule(small_request(spec, storage_gb=0.0))
+        assert placement is not None
+        assert placement.storage is None
+        assert len(placement.circuits) == 1
+
+
+class TestPlacement:
+    def test_intra_rack_properties(self, env):
+        spec, cluster, fabric, scheduler = env
+        placement = scheduler.schedule(small_request(spec))
+        assert placement.intra_rack
+        assert placement.cpu_ram_intra
+        assert placement.racks == frozenset({placement.cpu_rack})
+
+    def test_vm_id_passthrough(self, env):
+        spec, cluster, fabric, scheduler = env
+        placement = scheduler.schedule(small_request(spec))
+        assert placement.vm_id == 0

@@ -1,0 +1,57 @@
+"""Tests for the contention-ratio heuristic (Section 4.1)."""
+
+import math
+
+from repro.config import toy_example
+from repro.schedulers import contention_ratio, contention_ratios, most_contended
+from repro.topology import build_cluster
+from repro.types import ResourceType, ResourceVector
+
+
+def test_zero_requirement_zero_ratio(paper_cluster):
+    assert contention_ratio(paper_cluster, ResourceType.CPU, 0) == 0.0
+
+
+def test_ratio_definition(paper_cluster):
+    # 4608 CPU units available initially.
+    assert contention_ratio(paper_cluster, ResourceType.CPU, 46) == 46 / 4608
+
+
+def test_exhausted_resource_infinite_ratio(paper_cluster):
+    for box in paper_cluster.boxes(ResourceType.STORAGE):
+        box.allocate(box.avail_units)
+    assert contention_ratio(paper_cluster, ResourceType.STORAGE, 1) == math.inf
+
+
+def test_ratios_dict(paper_cluster):
+    units = ResourceVector(cpu=2, ram=4, storage=2)
+    ratios = contention_ratios(paper_cluster, units)
+    assert set(ratios) == set(ResourceType)
+    assert ratios[ResourceType.RAM] == 4 / 4608
+
+
+def test_most_contended_paper_toy_example():
+    """Section 4.3.1: CR CPU=0.08, RAM=0.25, storage=0.17 -> RAM."""
+    from repro.experiments.toy_examples import (
+        TABLE3_AVAILABILITY_NATURAL,
+    )
+    from repro.topology import prime_availability
+
+    spec = toy_example()
+    cluster = build_cluster(spec)
+    prime_availability(
+        cluster,
+        {
+            key: value // spec.ddc.natural_per_unit(key[0])
+            for key, value in TABLE3_AVAILABILITY_NATURAL.items()
+        },
+    )
+    # Typical VM: 8 cores = 2u, 16 GB = 4u, 128 GB = 2u.
+    units = ResourceVector(cpu=2, ram=4, storage=2)
+    assert most_contended(cluster, units) is ResourceType.RAM
+
+
+def test_ties_break_in_resource_order(paper_cluster):
+    units = ResourceVector(cpu=1, ram=1, storage=1)
+    # All availabilities equal -> equal ratios -> CPU by RESOURCE_ORDER.
+    assert most_contended(paper_cluster, units) is ResourceType.CPU

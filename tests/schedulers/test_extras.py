@@ -1,0 +1,91 @@
+"""Tests for the ablation schedulers."""
+
+import pytest
+
+from repro.config import paper_default
+from repro.network import NetworkFabric
+from repro.schedulers import (
+    BestFitGlobalScheduler,
+    FirstFitRackScheduler,
+    RandomScheduler,
+    WorstFitGlobalScheduler,
+)
+from repro.topology import build_cluster
+from repro.types import ResourceType
+from repro.workloads import resolve
+from tests.conftest import make_vm
+
+
+@pytest.fixture
+def env():
+    spec = paper_default()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    return spec, cluster, fabric
+
+
+def test_first_fit_rack_never_rotates(env):
+    spec, cluster, fabric = env
+    scheduler = FirstFitRackScheduler(spec, cluster, fabric)
+    racks = [
+        scheduler.schedule(resolve(make_vm(vm_id=i), spec)).cpu_rack
+        for i in range(10)
+    ]
+    assert racks == [0] * 10  # always starts at rack 0
+
+
+def test_best_fit_global_prefers_tightest_box(env):
+    spec, cluster, fabric = env
+    scheduler = BestFitGlobalScheduler(spec, cluster, fabric)
+    target = cluster.boxes(ResourceType.CPU)[17]
+    target.allocate(126)  # 2 units left, exact fit for an 8-core VM
+    placement = scheduler.schedule(resolve(make_vm(cpu_cores=8), spec))
+    assert placement.cpu.box_id == target.box_id
+
+
+def test_worst_fit_global_prefers_emptiest_box(env):
+    spec, cluster, fabric = env
+    scheduler = WorstFitGlobalScheduler(spec, cluster, fabric)
+    # Load every CPU box except one.
+    boxes = cluster.boxes(ResourceType.CPU)
+    for box in boxes[:-1]:
+        box.allocate(10)
+    placement = scheduler.schedule(resolve(make_vm(cpu_cores=8), spec))
+    assert placement.cpu.box_id == boxes[-1].box_id
+
+
+def test_random_scheduler_deterministic_for_seed(env):
+    spec, _, _ = env
+
+    def run(seed):
+        cluster = build_cluster(spec)
+        fabric = NetworkFabric(spec, cluster)
+        scheduler = RandomScheduler(spec, cluster, fabric, seed=seed)
+        return [
+            scheduler.schedule(resolve(make_vm(vm_id=i), spec)).cpu.box_id
+            for i in range(10)
+        ]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_random_scheduler_only_feasible_boxes(env):
+    spec, cluster, fabric = env
+    # Leave space in just one CPU box.
+    boxes = cluster.boxes(ResourceType.CPU)
+    for box in boxes[1:]:
+        box.allocate(box.avail_units)
+    scheduler = RandomScheduler(spec, cluster, fabric, seed=0)
+    for i in range(5):
+        placement = scheduler.schedule(resolve(make_vm(vm_id=i), spec))
+        assert placement.cpu.box_id == boxes[0].box_id
+
+
+def test_all_extras_drop_on_exhaustion(env):
+    spec, cluster, fabric = env
+    for box in cluster.boxes(ResourceType.RAM):
+        box.allocate(box.avail_units)
+    for cls in (BestFitGlobalScheduler, WorstFitGlobalScheduler):
+        scheduler = cls(spec, cluster, fabric)
+        assert scheduler.schedule(resolve(make_vm(), spec)) is None

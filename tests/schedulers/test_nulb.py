@@ -1,0 +1,102 @@
+"""Tests for NULB (Algorithm 2) semantics."""
+
+import pytest
+
+from repro.config import paper_default
+from repro.network import NetworkFabric
+from repro.schedulers import NULBScheduler, NULBRackAffinityScheduler
+from repro.topology import build_cluster
+from repro.types import ResourceType
+from repro.workloads import resolve
+from tests.conftest import make_vm
+
+
+@pytest.fixture
+def env():
+    spec = paper_default()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    return spec, cluster, fabric
+
+
+def request(spec, **kwargs):
+    return resolve(make_vm(**kwargs), spec)
+
+
+class TestScarceResourceSelection:
+    def test_first_box_of_scarce_type(self, env):
+        spec, cluster, fabric = env
+        scheduler = NULBScheduler(spec, cluster, fabric)
+        # RAM scarcest: drain most RAM availability cluster-wide.
+        for box in cluster.boxes(ResourceType.RAM)[2:]:
+            box.allocate(box.avail_units)
+        placement = scheduler.schedule(request(spec, ram_gb=16.0))
+        assert placement is not None
+        # RAM must be the first RAM box (global order), i.e. rack 0 box 0.
+        ram_box = cluster.box(placement.ram.box_id)
+        assert (ram_box.rack_index, ram_box.index_in_rack) == (0, 0)
+
+    def test_drop_when_scarce_unavailable(self, env):
+        spec, cluster, fabric = env
+        scheduler = NULBScheduler(spec, cluster, fabric)
+        for box in cluster.boxes(ResourceType.STORAGE):
+            box.allocate(box.avail_units)
+        assert scheduler.schedule(request(spec)) is None
+
+
+class TestGlobalFrontier:
+    def test_non_scarce_taken_from_first_boxes(self, env):
+        """Default NULB: non-scarce slices come from the global frontier,
+        so a scarce slice placed deep in the cluster splits the VM."""
+        spec, cluster, fabric = env
+        scheduler = NULBScheduler(spec, cluster, fabric)
+        # Make storage available only in rack 9; CPU/RAM free everywhere.
+        for box in cluster.boxes(ResourceType.STORAGE):
+            if box.rack_index != 9:
+                box.allocate(box.avail_units)
+        placement = scheduler.schedule(request(spec))
+        assert placement is not None
+        assert cluster.box(placement.storage.box_id).rack_index == 9
+        assert cluster.box(placement.cpu.box_id).rack_index == 0
+        assert cluster.box(placement.ram.box_id).rack_index == 0
+        assert not placement.intra_rack
+
+    def test_rack_affinity_variant_prefers_home_rack(self, env):
+        spec, cluster, fabric = env
+        scheduler = NULBRackAffinityScheduler(spec, cluster, fabric)
+        for box in cluster.boxes(ResourceType.STORAGE):
+            if box.rack_index != 9:
+                box.allocate(box.avail_units)
+        placement = scheduler.schedule(request(spec))
+        assert placement is not None
+        assert placement.intra_rack
+        assert placement.racks == frozenset({9})
+
+
+class TestRackFilter:
+    def test_super_rack_restriction_respected(self, env):
+        spec, cluster, fabric = env
+        scheduler = NULBScheduler(spec, cluster, fabric)
+        req = request(spec)
+        only_rack_5 = {
+            rtype: frozenset({5}) for rtype in ResourceType
+        }
+        placement = scheduler.allocate(req, rack_filter=only_rack_5)
+        assert placement is not None
+        assert placement.racks == frozenset({5})
+
+    def test_empty_filter_drops(self, env):
+        spec, cluster, fabric = env
+        scheduler = NULBScheduler(spec, cluster, fabric)
+        placement = scheduler.allocate(
+            request(spec), rack_filter={rtype: frozenset() for rtype in ResourceType}
+        )
+        assert placement is None
+
+
+class TestToyExample1:
+    def test_paper_walkthrough(self):
+        """Delegates to the experiment driver, which pins (2,1,2)."""
+        from repro.experiments import run_toy_example_1
+
+        assert run_toy_example_1().shape_ok

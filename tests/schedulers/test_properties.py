@@ -1,0 +1,85 @@
+"""Property-based tests over all schedulers: conservation and validity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_test
+from repro.network import NetworkFabric
+from repro.schedulers import PAPER_SCHEDULERS, create_scheduler
+from repro.topology import build_cluster
+from repro.types import LinkTier, RESOURCE_ORDER
+from repro.workloads import resolve
+from tests.conftest import make_vm
+
+vm_strategy = st.tuples(
+    st.integers(1, 8),  # cores (tiny cluster: box = 8 units of 4 cores = 32)
+    st.integers(1, 8),  # ram GB
+    st.sampled_from([0.0, 64.0, 128.0]),  # storage GB
+    st.booleans(),  # release after scheduling
+)
+
+
+@pytest.mark.parametrize("name", PAPER_SCHEDULERS)
+@given(script=st.lists(vm_strategy, min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_scheduler_invariants(name, script):
+    """For every scheduler: placements never exceed capacity, failed
+    attempts leak nothing, and releasing everything restores pristine
+    state (compute AND network)."""
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = create_scheduler(name, spec, cluster, fabric)
+    live = []
+    for i, (cores, ram, storage, do_release) in enumerate(script):
+        req = resolve(
+            make_vm(vm_id=i, cpu_cores=cores, ram_gb=float(ram), storage_gb=storage),
+            spec,
+        )
+        placement = scheduler.schedule(req)
+        if placement is not None:
+            # Placement must match the request exactly.
+            assert placement.cpu.units == req.units.cpu
+            assert placement.ram.units == req.units.ram
+            if req.units.storage:
+                assert placement.storage.units == req.units.storage
+            live.append(placement)
+        # Invariants hold after every decision.
+        for rtype in RESOURCE_ORDER:
+            assert 0 <= cluster.total_avail(rtype) <= cluster.total_capacity(rtype)
+        for tier in LinkTier:
+            assert (
+                fabric.tier_used_gbps(tier)
+                <= fabric.tier_capacity_gbps(tier) + 1e-6
+            )
+        if do_release and live:
+            scheduler.release(live.pop())
+
+    for placement in live:
+        scheduler.release(placement)
+    for rtype in RESOURCE_ORDER:
+        assert cluster.total_avail(rtype) == cluster.total_capacity(rtype)
+    for tier in LinkTier:
+        assert abs(fabric.tier_used_gbps(tier)) < 1e-6
+
+
+@pytest.mark.parametrize("name", ("risa", "risa_bf"))
+@given(script=st.lists(vm_strategy, min_size=1, max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_risa_family_intra_rack_unless_fallback(name, script):
+    """Every RISA placement is intra-rack whenever some rack can host the
+    whole VM (the INTRA_RACK_POOL guarantee)."""
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = create_scheduler(name, spec, cluster, fabric)
+    for i, (cores, ram, storage, _) in enumerate(script):
+        req = resolve(
+            make_vm(vm_id=i, cpu_cores=cores, ram_gb=float(ram), storage_gb=storage),
+            spec,
+        )
+        pool_nonempty = any(r.can_host(req.units) for r in cluster.racks)
+        placement = scheduler.schedule(req)
+        if placement is not None and pool_nonempty:
+            assert placement.intra_rack

@@ -1,0 +1,76 @@
+"""Tests for the scheduler registry and custom registration."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.errors import SchedulerError
+from repro.network import NetworkFabric
+from repro.schedulers import (
+    ALL_SCHEDULERS,
+    PAPER_SCHEDULERS,
+    RISAScheduler,
+    Scheduler,
+    create_scheduler,
+    register_scheduler,
+    registry_view,
+    scheduler_class,
+)
+from repro.topology import build_cluster
+
+
+def test_paper_lineup():
+    assert PAPER_SCHEDULERS == ("nulb", "nalb", "risa", "risa_bf")
+
+
+def test_all_paper_schedulers_registered():
+    for name in PAPER_SCHEDULERS:
+        assert name in ALL_SCHEDULERS
+
+
+def test_variants_registered():
+    assert "nulb_rack_affinity" in ALL_SCHEDULERS
+    assert "nalb_rack_affinity" in ALL_SCHEDULERS
+
+
+def test_create_scheduler():
+    spec = tiny_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = create_scheduler("risa", spec, cluster, fabric)
+    assert isinstance(scheduler, RISAScheduler)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(SchedulerError):
+        scheduler_class("no_such_scheduler")
+
+
+def test_register_custom_scheduler():
+    class Custom(RISAScheduler):
+        name = "custom_test_scheduler"
+
+    try:
+        register_scheduler(Custom)
+        assert scheduler_class("custom_test_scheduler") is Custom
+    finally:
+        registry = registry_view()
+        assert "custom_test_scheduler" in registry
+
+
+def test_register_requires_name():
+    class Nameless(Scheduler):
+        name = ""
+
+        def schedule(self, request):  # pragma: no cover
+            return None
+
+    with pytest.raises(SchedulerError):
+        register_scheduler(Nameless)
+
+
+def test_register_rejects_duplicate_name():
+    class Imposter(RISAScheduler):
+        name = "risa"
+
+    with pytest.raises(SchedulerError):
+        register_scheduler(Imposter)

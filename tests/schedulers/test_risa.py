@@ -1,0 +1,117 @@
+"""Tests for RISA (Algorithm 1): pool, round-robin, fallback."""
+
+import pytest
+
+from repro.config import paper_default
+from repro.network import NetworkFabric
+from repro.schedulers import RISAScheduler
+from repro.topology import build_cluster
+from repro.types import ResourceType
+from repro.workloads import resolve
+from tests.conftest import make_vm
+
+
+@pytest.fixture
+def env():
+    spec = paper_default()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    scheduler = RISAScheduler(spec, cluster, fabric)
+    return spec, cluster, fabric, scheduler
+
+
+def request(spec, vm_id=0, **kwargs):
+    return resolve(make_vm(vm_id=vm_id, **kwargs), spec)
+
+
+class TestIntraRackPool:
+    def test_always_intra_rack_when_pool_nonempty(self, env):
+        spec, cluster, fabric, scheduler = env
+        for i in range(100):
+            placement = scheduler.schedule(request(spec, vm_id=i))
+            assert placement is not None
+            assert placement.intra_rack
+
+    def test_pool_excludes_racks_that_cannot_host(self, env):
+        spec, cluster, fabric, scheduler = env
+        # Exhaust rack 0's CPU completely.
+        for box in cluster.rack(0).boxes(ResourceType.CPU):
+            box.allocate(box.avail_units)
+        for i in range(40):
+            placement = scheduler.schedule(request(spec, vm_id=i))
+            assert placement is not None
+            assert 0 not in placement.racks
+
+
+class TestRoundRobin:
+    def test_rotates_across_racks(self, env):
+        spec, cluster, fabric, scheduler = env
+        racks = [
+            scheduler.schedule(request(spec, vm_id=i)).cpu_rack for i in range(18)
+        ]
+        # Round-robin over the 18-rack pool touches every rack once.
+        assert sorted(racks) == list(range(18))
+
+    def test_cursor_resumes_after_chosen_rack(self, env):
+        spec, cluster, fabric, scheduler = env
+        first = scheduler.schedule(request(spec, vm_id=0)).cpu_rack
+        second = scheduler.schedule(request(spec, vm_id=1)).cpu_rack
+        assert second == (first + 1) % 18
+
+    def test_load_balanced_utilization(self, env):
+        """Round-robin keeps per-rack utilization nearly uniform — the
+        paper's stated motivation for the policy."""
+        spec, cluster, fabric, scheduler = env
+        for i in range(180):
+            assert scheduler.schedule(request(spec, vm_id=i)) is not None
+        used = [
+            sum(b.used_units for b in rack.boxes(ResourceType.CPU))
+            for rack in cluster.racks
+        ]
+        assert max(used) - min(used) <= 2  # 2 units = one VM's CPU slice
+
+
+class TestBoxChoice:
+    def test_first_fit_fills_first_box(self, env):
+        spec, cluster, fabric, scheduler = env
+        placement = scheduler.schedule(request(spec, vm_id=0))
+        box = cluster.box(placement.cpu.box_id)
+        assert box.index_in_rack == 0
+
+
+class TestSuperRackFallback:
+    def test_falls_back_to_inter_rack(self, env):
+        spec, cluster, fabric, scheduler = env
+        # Leave CPU only in rack 3 and RAM only in rack 7: no rack can host
+        # the whole VM, but SUPER_RACK allows a split.
+        for box in cluster.boxes(ResourceType.CPU):
+            if box.rack_index != 3:
+                box.allocate(box.avail_units)
+        for box in cluster.boxes(ResourceType.RAM):
+            if box.rack_index != 7:
+                box.allocate(box.avail_units)
+        placement = scheduler.schedule(request(spec))
+        assert placement is not None
+        assert not placement.intra_rack
+        assert cluster.box(placement.cpu.box_id).rack_index == 3
+        assert cluster.box(placement.ram.box_id).rack_index == 7
+
+    def test_drops_when_super_rack_empty_for_a_type(self, env):
+        spec, cluster, fabric, scheduler = env
+        for box in cluster.boxes(ResourceType.RAM):
+            box.allocate(box.avail_units)
+        assert scheduler.schedule(request(spec)) is None
+
+    def test_fallback_when_pool_network_blocked(self, env):
+        """Pool rack exists but its intra-rack network is saturated: RISA
+        must try other pool racks (round-robin) before NULB fallback."""
+        spec, cluster, fabric, scheduler = env
+        # Saturate every uplink of rack 0's boxes.
+        for rack_box in cluster.rack(0).all_boxes():
+            for link in fabric.box_bundle(rack_box.box_id).links:
+                link.reserve(link.avail_gbps)
+        scheduler._cursor = 0
+        placement = scheduler.schedule(request(spec))
+        assert placement is not None
+        assert placement.intra_rack
+        assert 0 not in placement.racks

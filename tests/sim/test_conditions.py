@@ -1,0 +1,104 @@
+"""Tests for AllOf/AnyOf condition events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment
+
+
+class TestAllOf:
+    def test_fires_after_every_child(self):
+        env = Environment()
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        done = []
+
+        def proc():
+            values = yield AllOf(env, [t1, t2])
+            done.append((env.now, sorted(values.values())))
+
+        env.process(proc())
+        env.run()
+        assert done == [(3.0, ["a", "b"])]
+
+    def test_values_keyed_by_event(self):
+        env = Environment()
+        t1 = env.timeout(1.0, value="x")
+        condition = AllOf(env, [t1])
+        env.run()
+        assert condition.processed
+        assert condition.value == {t1: "x"}
+
+    def test_already_processed_children_count(self):
+        env = Environment()
+        t1 = env.timeout(1.0, value=1)
+        env.run()
+        condition = AllOf(env, [t1])
+        env.run()
+        assert condition.processed and condition.ok
+
+    def test_child_failure_fails_condition(self):
+        env = Environment()
+        bad = env.event()
+        good = env.timeout(5.0)
+        caught = []
+
+        def proc():
+            try:
+                yield AllOf(env, [good, bad])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc())
+        bad.fail(RuntimeError("nope"))
+        env.run()
+        assert caught == ["nope"]
+
+
+class TestAnyOf:
+    def test_fires_on_first_child(self):
+        env = Environment()
+        slow = env.timeout(10.0, value="slow")
+        fast = env.timeout(2.0, value="fast")
+        got = []
+
+        def proc():
+            values = yield AnyOf(env, [slow, fast])
+            got.append((env.now, list(values.values())))
+
+        env.process(proc())
+        env.run()
+        assert got == [(2.0, ["fast"])]
+
+    def test_timeout_race_pattern(self):
+        """The canonical 'operation with deadline' idiom."""
+        env = Environment()
+        operation = env.event()
+        deadline = env.timeout(5.0, value="deadline")
+        outcome = []
+
+        def proc():
+            values = yield AnyOf(env, [operation, deadline])
+            outcome.append("timed_out" if deadline in values else "completed")
+
+        env.process(proc())
+        env.run()
+        assert outcome == ["timed_out"]
+
+
+class TestValidation:
+    def test_empty_condition_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env, [])
+
+    def test_non_event_child_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            AnyOf(env, [42])  # type: ignore[list-item]
+
+    def test_children_exposed(self):
+        env = Environment()
+        t1 = env.timeout(1.0)
+        condition = AllOf(env, [t1])
+        assert condition.children == (t1,)

@@ -1,0 +1,173 @@
+"""Tests for the DES Environment and generator processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=7.0).now == 7.0
+
+    def test_run_until_advances_clock_exactly(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_on_empty_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(4.0)
+        assert env.peek() == 4.0
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        trace = []
+
+        def proc():
+            trace.append(env.now)
+            yield env.timeout(2.0)
+            trace.append(env.now)
+            yield env.timeout(3.0)
+            trace.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_timeout_value_is_delivered(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            value = yield env.timeout(1.0, value="hello")
+            got.append(value)
+
+        env.process(proc())
+        env.run()
+        assert got == ["hello"]
+
+    def test_process_return_value_becomes_event_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            return 99
+
+        def parent(results):
+            value = yield env.process(child())
+            results.append(value)
+
+        results = []
+        env.process(parent(results))
+        env.run()
+        assert results == [99]
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent(results):
+            try:
+                yield env.process(child())
+            except ValueError as exc:
+                results.append(str(exc))
+
+        results = []
+        env.process(parent(results))
+        env.run()
+        assert results == ["child failed"]
+
+    def test_waiting_on_shared_event(self):
+        env = Environment()
+        gate = env.event()
+        woken = []
+
+        def waiter(name):
+            yield gate
+            woken.append((name, env.now))
+
+        def opener():
+            yield env.timeout(4.0)
+            gate.succeed()
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+        env.process(opener())
+        env.run()
+        assert woken == [("a", 4.0), ("b", 4.0)]
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed("v")
+        env.run()
+        got = []
+
+        def late_waiter():
+            value = yield gate
+            got.append(value)
+
+        env.process(late_waiter())
+        env.run()
+        assert got == ["v"]
+
+    def test_yielding_non_event_rejected(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("x", "y", "z"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["x", "y", "z"]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def proc(tag, delay):
+                yield env.timeout(delay)
+                trace.append((tag, env.now))
+                yield env.timeout(delay / 2)
+                trace.append((tag, env.now))
+
+            for i in range(10):
+                env.process(proc(i, 1.0 + i * 0.25))
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

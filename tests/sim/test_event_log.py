@@ -1,0 +1,123 @@
+"""Tests for the structured event log: export, digest, audit."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.errors import SimulationError
+from repro.sim import DDCSimulator, EventLog, SimEvent
+from tests.conftest import make_vm
+
+
+def small_vms(n=3, cores=4):
+    return [
+        make_vm(vm_id=i, arrival=float(i), lifetime=10.0, cpu_cores=cores,
+                ram_gb=4.0, storage_gb=64.0)
+        for i in range(n)
+    ]
+
+
+def run_with_log(vms, scheduler="risa"):
+    log = EventLog()
+    sim = DDCSimulator(tiny_test(), scheduler, event_log=log)
+    sim.run(vms)
+    return log
+
+
+class TestRecording:
+    def test_full_lifecycle_counts(self):
+        log = run_with_log(small_vms(3))
+        assert log.summary_counts() == {
+            "arrival": 3, "placement": 3, "drop": 0, "departure": 3,
+        }
+
+    def test_drops_recorded(self):
+        # 32-core VMs take a whole box; the third must drop.
+        vms = [
+            make_vm(vm_id=i, arrival=0.0, lifetime=100.0, cpu_cores=32,
+                    ram_gb=4.0, storage_gb=64.0)
+            for i in range(3)
+        ]
+        log = run_with_log(vms)
+        assert log.summary_counts()["drop"] == 1
+        assert log.summary_counts()["departure"] == 2
+
+    def test_placement_carries_racks(self):
+        log = run_with_log(small_vms(1))
+        placement = [e for e in log.events if e.kind == "placement"][0]
+        assert placement.racks != ()
+
+    def test_unknown_kind_rejected(self):
+        log = EventLog()
+        with pytest.raises(SimulationError):
+            log.record(0.0, "teleport", 1)
+
+
+class TestDigest:
+    def test_identical_runs_identical_digest(self):
+        vms = small_vms(5)
+        assert run_with_log(vms).digest() == run_with_log(vms).digest()
+
+    def test_different_traces_different_digest(self):
+        assert run_with_log(small_vms(3)).digest() != run_with_log(small_vms(4)).digest()
+
+    def test_different_schedulers_may_differ(self):
+        """risa round-robins, nulb does not: placements differ -> digest
+        differs (with >1 rack involved)."""
+        vms = small_vms(4)
+        assert run_with_log(vms, "risa").digest() != run_with_log(vms, "nulb").digest()
+
+
+class TestAudit:
+    def test_valid_log_passes(self):
+        run_with_log(small_vms(4)).audit()
+
+    def test_placement_without_arrival_rejected(self):
+        log = EventLog([SimEvent(0.0, "placement", 1, (0,))])
+        with pytest.raises(SimulationError):
+            log.audit()
+
+    def test_double_departure_rejected(self):
+        log = EventLog([
+            SimEvent(0.0, "arrival", 1),
+            SimEvent(0.0, "placement", 1, (0,)),
+            SimEvent(1.0, "departure", 1),
+            SimEvent(2.0, "departure", 1),
+        ])
+        with pytest.raises(SimulationError):
+            log.audit()
+
+    def test_unresolved_arrival_rejected(self):
+        log = EventLog([SimEvent(0.0, "arrival", 1)])
+        with pytest.raises(SimulationError):
+            log.audit()
+
+    def test_placement_needs_racks(self):
+        log = EventLog([
+            SimEvent(0.0, "arrival", 1),
+            SimEvent(0.0, "placement", 1, ()),
+        ])
+        with pytest.raises(SimulationError):
+            log.audit()
+
+    def test_backwards_time_rejected(self):
+        log = EventLog([
+            SimEvent(5.0, "arrival", 1),
+            SimEvent(4.0, "placement", 1, (0,)),
+        ])
+        with pytest.raises(SimulationError):
+            log.audit()
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = run_with_log(small_vms(3))
+        path = tmp_path / "events.jsonl"
+        count = log.save(path)
+        assert count == len(log)
+        loaded = EventLog.load(path)
+        assert loaded.digest() == log.digest()
+        loaded.audit()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            EventLog.load(tmp_path / "nope.jsonl")

@@ -1,0 +1,72 @@
+"""Tests for Event/Timeout primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_event_starts_untriggered():
+    env = Environment()
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_succeed_carries_value():
+    env = Environment()
+    event = env.event()
+    event.succeed("payload")
+    assert event.triggered and event.ok
+    env.run()
+    assert event.processed
+    assert event.value == "payload"
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unwaited_failure_surfaces():
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_timeout_fires_at_delay():
+    env = Environment()
+    timeout = env.timeout(5.0, value=42)
+    env.run()
+    assert env.now == 5.0
+    assert timeout.processed
+    assert timeout.value == 42
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_callbacks_fire_in_registration_order():
+    env = Environment()
+    event = env.event()
+    order = []
+    event.callbacks.append(lambda e: order.append(1))
+    event.callbacks.append(lambda e: order.append(2))
+    event.succeed()
+    env.run()
+    assert order == [1, 2]

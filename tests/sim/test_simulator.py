@@ -1,0 +1,122 @@
+"""Tests for the end-to-end DDCSimulator."""
+
+import pytest
+
+from repro.config import paper_default, tiny_test
+from repro.errors import SimulationError
+from repro.network import NetworkFabric
+from repro.schedulers import create_scheduler
+from repro.sim import DDCSimulator, simulate
+from repro.topology import build_cluster
+from repro.types import ResourceType
+from tests.conftest import make_vm
+
+
+class TestLifecycle:
+    def test_resources_released_after_departure(self):
+        spec = tiny_test()
+        sim = DDCSimulator(spec, "risa")
+        vms = [make_vm(vm_id=0, arrival=0.0, lifetime=10.0, cpu_cores=4,
+                       ram_gb=4.0, storage_gb=64.0)]
+        result = sim.run(vms)
+        assert result.summary.scheduled_vms == 1
+        # After the VM departs everything must be free again.
+        for rtype in ResourceType:
+            assert sim.cluster.total_avail(rtype) == sim.cluster.total_capacity(rtype)
+        assert sim.fabric.intra_rack_utilization() == 0.0
+
+    def test_overlapping_vms_share_capacity(self):
+        spec = tiny_test()
+        sim = DDCSimulator(spec, "risa")
+        # tiny cluster: 8 CPU units per rack box; 4-core VMs take 1 unit each
+        vms = [
+            make_vm(vm_id=i, arrival=0.0, lifetime=100.0, cpu_cores=4,
+                    ram_gb=4.0, storage_gb=64.0)
+            for i in range(4)
+        ]
+        result = sim.run(vms)
+        assert result.summary.scheduled_vms == 4
+
+    def test_drop_when_cluster_exhausted(self):
+        spec = tiny_test()
+        sim = DDCSimulator(spec, "risa")
+        # Each VM takes 8 CPU units = one whole box; cluster has 2 CPU boxes.
+        vms = [
+            make_vm(vm_id=i, arrival=float(i), lifetime=1000.0, cpu_cores=32,
+                    ram_gb=4.0, storage_gb=64.0)
+            for i in range(3)
+        ]
+        result = sim.run(vms)
+        assert result.summary.scheduled_vms == 2
+        assert result.summary.dropped_vms == 1
+        assert result.dropped_vm_ids == (2,)
+
+    def test_capacity_reusable_after_departure(self):
+        spec = tiny_test()
+        sim = DDCSimulator(spec, "risa")
+        vms = [
+            make_vm(vm_id=0, arrival=0.0, lifetime=5.0, cpu_cores=32,
+                    ram_gb=4.0, storage_gb=64.0),
+            make_vm(vm_id=1, arrival=1.0, lifetime=5.0, cpu_cores=32,
+                    ram_gb=4.0, storage_gb=64.0),
+            # Arrives after both earlier VMs departed.
+            make_vm(vm_id=2, arrival=20.0, lifetime=5.0, cpu_cores=32,
+                    ram_gb=4.0, storage_gb=64.0),
+        ]
+        result = sim.run(vms)
+        assert result.summary.dropped_vms == 0
+
+
+class TestConstruction:
+    def test_scheduler_by_instance(self):
+        spec = tiny_test()
+        cluster = build_cluster(spec)
+        fabric = NetworkFabric(spec, cluster)
+        scheduler = create_scheduler("nulb", spec, cluster, fabric)
+        sim = DDCSimulator(spec, scheduler, cluster=cluster, fabric=fabric)
+        assert sim.scheduler is scheduler
+
+    def test_foreign_scheduler_instance_rejected(self):
+        spec = tiny_test()
+        other_cluster = build_cluster(spec)
+        other_fabric = NetworkFabric(spec, other_cluster)
+        scheduler = create_scheduler("nulb", spec, other_cluster, other_fabric)
+        with pytest.raises(SimulationError):
+            DDCSimulator(spec, scheduler)
+
+
+class TestResults:
+    def test_summary_counts(self):
+        result = simulate(paper_default(), "risa",
+                          [make_vm(vm_id=i, arrival=float(i)) for i in range(5)])
+        assert result.summary.total_vms == 5
+        assert result.summary.scheduled_vms == 5
+        assert result.summary.avg_cpu_ram_latency_ns == 110.0
+
+    def test_scheduler_time_positive(self):
+        result = simulate(paper_default(), "nulb",
+                          [make_vm(vm_id=i, arrival=float(i)) for i in range(20)])
+        assert result.summary.scheduler_time_s > 0.0
+
+    def test_result_serialization(self, tmp_path):
+        result = simulate(tiny_test(), "risa",
+                          [make_vm(cpu_cores=4, ram_gb=4.0, storage_gb=64.0)])
+        path = tmp_path / "result.json"
+        result.save(path, include_records=True)
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["scheduler"] == "risa"
+        assert data["summary"]["scheduled_vms"] == 1
+        assert len(data["records"]) == 1
+
+    def test_determinism_same_seed_same_summary(self):
+        from repro.workloads import generate_synthetic
+
+        vms = generate_synthetic(seed=3)[:150]
+        a = simulate(paper_default(), "risa", vms).summary.as_dict()
+        b = simulate(paper_default(), "risa", vms).summary.as_dict()
+        # Wall-clock scheduler time legitimately varies between runs.
+        a.pop("scheduler_time_s")
+        b.pop("scheduler_time_s")
+        assert a == b

@@ -1,0 +1,89 @@
+"""Tests for Box allocation receipts and brick spreading."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.topology import Box, Brick
+from repro.types import ResourceType
+
+
+def make_box(bricks=2, brick_units=4, on_change=None, box_id=0):
+    return Box(
+        box_id=box_id,
+        rtype=ResourceType.RAM,
+        rack_index=0,
+        index_in_rack=0,
+        bricks=[
+            Brick(index=i, rtype=ResourceType.RAM, capacity_units=brick_units)
+            for i in range(bricks)
+        ],
+        on_change=on_change,
+    )
+
+
+class TestAllocation:
+    def test_capacity_is_sum_of_bricks(self):
+        assert make_box(bricks=3, brick_units=5).capacity_units == 15
+
+    def test_allocation_spans_bricks_first_fit(self):
+        box = make_box(bricks=2, brick_units=4)
+        receipt = box.allocate(6)
+        assert receipt.units == 6
+        assert receipt.brick_slices == ((0, 4), (1, 2))
+
+    def test_receipt_slices_sum_to_units(self):
+        box = make_box(bricks=4, brick_units=3)
+        receipt = box.allocate(7)
+        assert sum(take for _, take in receipt.brick_slices) == 7
+
+    def test_can_fit(self):
+        box = make_box()
+        assert box.can_fit(8)
+        assert not box.can_fit(9)
+        assert not box.can_fit(-1)
+
+    def test_overflow_rejected(self):
+        box = make_box()
+        with pytest.raises(CapacityError):
+            box.allocate(9)
+
+    def test_zero_allocation_rejected(self):
+        box = make_box()
+        with pytest.raises(CapacityError):
+            box.allocate(0)
+
+
+class TestRelease:
+    def test_release_restores_bricks(self):
+        box = make_box(bricks=2, brick_units=4)
+        receipt = box.allocate(6)
+        box.release(receipt)
+        assert box.avail_units == 8
+        assert all(b.used_units == 0 for b in box.bricks)
+
+    def test_release_wrong_box_rejected(self):
+        box_a = make_box(box_id=0)
+        box_b = make_box(box_id=1)
+        receipt = box_a.allocate(2)
+        with pytest.raises(CapacityError):
+            box_b.release(receipt)
+
+    def test_interleaved_alloc_release(self):
+        box = make_box(bricks=2, brick_units=4)
+        r1 = box.allocate(3)
+        r2 = box.allocate(4)
+        box.release(r1)
+        r3 = box.allocate(2)
+        assert box.used_units == 6
+        box.release(r2)
+        box.release(r3)
+        assert box.used_units == 0
+
+
+class TestChangeNotification:
+    def test_on_change_sees_deltas(self):
+        deltas = []
+        box = make_box(on_change=lambda b, d: deltas.append(d))
+        receipt = box.allocate(5)
+        box.release(receipt)
+        assert deltas == [-5, 5]

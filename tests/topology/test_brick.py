@@ -1,0 +1,59 @@
+"""Tests for brick-level accounting."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.topology import Brick
+from repro.types import ResourceType
+
+
+def make_brick(capacity=16):
+    return Brick(index=0, rtype=ResourceType.CPU, capacity_units=capacity)
+
+
+def test_initial_availability():
+    brick = make_brick()
+    assert brick.avail_units == 16
+    assert brick.used_units == 0
+
+
+def test_allocate_reduces_availability():
+    brick = make_brick()
+    brick.allocate(5)
+    assert brick.avail_units == 11
+
+
+def test_release_restores():
+    brick = make_brick()
+    brick.allocate(5)
+    brick.release(5)
+    assert brick.avail_units == 16
+
+
+def test_overflow_rejected():
+    brick = make_brick(4)
+    with pytest.raises(CapacityError):
+        brick.allocate(5)
+
+
+def test_underflow_rejected():
+    brick = make_brick()
+    brick.allocate(2)
+    with pytest.raises(CapacityError):
+        brick.release(3)
+
+
+def test_negative_amounts_rejected():
+    brick = make_brick()
+    with pytest.raises(CapacityError):
+        brick.allocate(-1)
+    with pytest.raises(CapacityError):
+        brick.release(-1)
+
+
+def test_exact_fill_and_drain():
+    brick = make_brick(4)
+    brick.allocate(4)
+    assert brick.avail_units == 0
+    brick.release(4)
+    assert brick.avail_units == 4

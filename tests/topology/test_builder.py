@@ -1,0 +1,61 @@
+"""Tests for cluster building and availability priming."""
+
+import pytest
+
+from repro.config import paper_default, toy_example
+from repro.errors import TopologyError
+from repro.topology import build_cluster, prime_availability
+from repro.types import ResourceType
+
+
+def test_paper_cluster_brick_structure():
+    cluster = build_cluster(paper_default())
+    box = cluster.boxes(ResourceType.CPU)[0]
+    assert len(box.bricks) == 8
+    assert all(b.capacity_units == 16 for b in box.bricks)
+
+
+def test_toy_cluster_storage_override_bricks():
+    cluster = build_cluster(toy_example())
+    sto_box = cluster.boxes(ResourceType.STORAGE)[0]
+    # 8 units with 16-unit bricks -> single 8-unit brick
+    assert sto_box.capacity_units == 8
+    cpu_box = cluster.boxes(ResourceType.CPU)[0]
+    assert cpu_box.capacity_units == 16
+
+
+def test_callbacks_wired_to_cluster():
+    cluster = build_cluster(paper_default())
+    box = cluster.boxes(ResourceType.STORAGE)[3]
+    before = cluster.total_avail(ResourceType.STORAGE)
+    box.allocate(7)
+    assert cluster.total_avail(ResourceType.STORAGE) == before - 7
+
+
+class TestPrimeAvailability:
+    def test_sets_requested_availability(self):
+        cluster = build_cluster(toy_example())
+        prime_availability(cluster, {(ResourceType.CPU, 1, 1): 8})
+        box = cluster.rack(1).boxes(ResourceType.CPU)[1]
+        assert box.avail_units == 8
+
+    def test_zero_availability(self):
+        cluster = build_cluster(toy_example())
+        prime_availability(cluster, {(ResourceType.RAM, 0, 0): 0})
+        assert cluster.rack(0).boxes(ResourceType.RAM)[0].avail_units == 0
+
+    def test_rejects_unknown_box_index(self):
+        cluster = build_cluster(toy_example())
+        with pytest.raises(TopologyError):
+            prime_availability(cluster, {(ResourceType.CPU, 0, 9): 1})
+
+    def test_rejects_out_of_range_availability(self):
+        cluster = build_cluster(toy_example())
+        with pytest.raises(TopologyError):
+            prime_availability(cluster, {(ResourceType.CPU, 0, 0): 999})
+
+    def test_rejects_raising_availability(self):
+        cluster = build_cluster(toy_example())
+        prime_availability(cluster, {(ResourceType.CPU, 0, 0): 4})
+        with pytest.raises(TopologyError):
+            prime_availability(cluster, {(ResourceType.CPU, 0, 0): 10})

@@ -1,0 +1,90 @@
+"""Tests for Cluster aggregates, ordering, and snapshots."""
+
+import pytest
+
+from repro.config import paper_default, tiny_test
+from repro.errors import TopologyError
+from repro.topology import build_cluster
+from repro.types import ResourceType
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(paper_default())
+
+
+class TestShape:
+    def test_rack_count(self, cluster):
+        assert cluster.num_racks == 18
+
+    def test_boxes_per_type(self, cluster):
+        for rtype in ResourceType:
+            assert len(cluster.boxes(rtype)) == 36
+
+    def test_global_box_order_is_rack_major(self, cluster):
+        racks = [b.rack_index for b in cluster.boxes(ResourceType.CPU)]
+        assert racks == sorted(racks)
+        # two boxes per rack, in index order
+        first_two = cluster.boxes(ResourceType.CPU)[:2]
+        assert [b.index_in_rack for b in first_two] == [0, 1]
+
+    def test_box_ids_unique(self, cluster):
+        ids = [b.box_id for b in cluster.all_boxes()]
+        assert len(ids) == len(set(ids)) == 108
+
+    def test_box_lookup(self, cluster):
+        box = cluster.boxes(ResourceType.RAM)[5]
+        assert cluster.box(box.box_id) is box
+
+    def test_unknown_box_rejected(self, cluster):
+        with pytest.raises(TopologyError):
+            cluster.box(10**6)
+
+
+class TestAggregates:
+    def test_totals_match_config(self, cluster):
+        for rtype in ResourceType:
+            assert cluster.total_capacity(rtype) == 18 * 2 * 128
+            assert cluster.total_avail(rtype) == 18 * 2 * 128
+
+    def test_totals_track_allocation(self, cluster):
+        box = cluster.boxes(ResourceType.CPU)[0]
+        receipt = box.allocate(50)
+        assert cluster.total_avail(ResourceType.CPU) == 18 * 2 * 128 - 50
+        box.release(receipt)
+        assert cluster.total_avail(ResourceType.CPU) == 18 * 2 * 128
+
+    def test_utilization(self, cluster):
+        assert cluster.utilization(ResourceType.RAM) == 0.0
+        cluster.boxes(ResourceType.RAM)[0].allocate(128)
+        assert cluster.utilization(ResourceType.RAM) == pytest.approx(
+            128 / (18 * 2 * 128)
+        )
+
+    def test_avail_vector(self, cluster):
+        v = cluster.avail_vector()
+        assert v.cpu == v.ram == v.storage == 4608
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        cluster = build_cluster(tiny_test())
+        snap = cluster.snapshot()
+        box = cluster.boxes(ResourceType.CPU)[0]
+        box.allocate(5)
+        assert cluster.snapshot() != snap
+        cluster.restore(snap)
+        assert cluster.snapshot() == snap
+        assert cluster.total_avail(ResourceType.CPU) == 16
+
+    def test_restore_rebuilds_rack_caches(self):
+        cluster = build_cluster(tiny_test())
+        snap = cluster.snapshot()
+        cluster.boxes(ResourceType.RAM)[0].allocate(8)
+        cluster.restore(snap)
+        assert cluster.rack(0).max_avail(ResourceType.RAM) == 8
+
+    def test_restore_shape_mismatch_rejected(self):
+        cluster = build_cluster(tiny_test())
+        with pytest.raises(TopologyError):
+            cluster.restore(((0,),))

@@ -1,0 +1,98 @@
+"""Tests for the defragmentation planner."""
+
+import pytest
+
+from repro.config import paper_default
+from repro.errors import AllocationError
+from repro.topology import build_cluster
+from repro.topology.defrag import apply_plan, plan_rack_defrag
+from repro.types import ResourceType
+
+
+@pytest.fixture
+def rack_state():
+    """Rack 0 with fragmented CPU: two boxes, each half full of small
+    slices, so neither can host a large request alone."""
+    cluster = build_cluster(paper_default())
+    rack = cluster.rack(0)
+    box0, box1 = rack.boxes(ResourceType.CPU)
+    allocations = {box0.box_id: [], box1.box_id: []}
+    for _ in range(8):
+        allocations[box0.box_id].append(box0.allocate(10))  # 80 used, 48 free
+    for _ in range(6):
+        allocations[box1.box_id].append(box1.allocate(10))  # 60 used, 68 free
+    movable = {
+        bid: [a.units for a in allocs] for bid, allocs in allocations.items()
+    }
+    return cluster, rack, allocations, movable, (box0, box1)
+
+
+class TestPlanning:
+    def test_no_plan_needed_when_box_fits(self, rack_state):
+        cluster, rack, _, movable, _ = rack_state
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 60, movable)
+        assert plan is not None
+        assert plan.migration_count == 0
+
+    def test_plan_frees_enough(self, rack_state):
+        cluster, rack, _, movable, (box0, box1) = rack_state
+        # 100 units: neither box (48, 68 free) fits; total 116 does.
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 100, movable)
+        assert plan is not None
+        assert plan.target_box == box1.box_id  # the emptier box
+        assert plan.units_freed >= 100 - 68
+        assert all(m.source_box == box1.box_id for m in plan.migrations)
+
+    def test_impossible_when_rack_capacity_short(self, rack_state):
+        cluster, rack, _, movable, _ = rack_state
+        assert plan_rack_defrag(rack, ResourceType.CPU, 120, movable) is None
+
+    def test_impossible_when_slices_unmovable(self):
+        cluster = build_cluster(paper_default())
+        rack = cluster.rack(0)
+        box0, box1 = rack.boxes(ResourceType.CPU)
+        box0.allocate(100)
+        box1.allocate(100)
+        # 56 total free but nothing may move.
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 40, {})
+        assert plan is None
+
+    def test_invalid_request_rejected(self, rack_state):
+        cluster, rack, _, movable, _ = rack_state
+        with pytest.raises(AllocationError):
+            plan_rack_defrag(rack, ResourceType.CPU, 0, movable)
+
+    def test_prefers_fewest_units_moved(self, rack_state):
+        """Smallest resident slices are evicted first."""
+        cluster, rack, _, movable, (box0, box1) = rack_state
+        movable[box1.box_id] = [2, 10, 10, 10, 10, 10]  # one small slice
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 70, movable)
+        assert plan is not None
+        # Deficit is 2; the 2-unit slice alone suffices.
+        assert [m.units for m in plan.migrations] == [2]
+
+
+class TestApplyPlan:
+    def test_apply_enables_allocation(self, rack_state):
+        cluster, rack, allocations, movable, (box0, box1) = rack_state
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 100, movable)
+        apply_plan(cluster, plan, allocations)
+        target = cluster.box(plan.target_box)
+        assert target.avail_units >= 100
+        receipt = target.allocate(100)  # must now succeed
+        target.release(receipt)
+
+    def test_apply_conserves_totals(self, rack_state):
+        cluster, rack, allocations, movable, _ = rack_state
+        before = cluster.total_avail(ResourceType.CPU)
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 100, movable)
+        apply_plan(cluster, plan, allocations)
+        assert cluster.total_avail(ResourceType.CPU) == before
+
+    def test_apply_with_missing_receipt_rejected(self, rack_state):
+        cluster, rack, allocations, movable, _ = rack_state
+        plan = plan_rack_defrag(rack, ResourceType.CPU, 100, movable)
+        if plan.migrations:
+            bad = {bid: [] for bid in allocations}
+            with pytest.raises(AllocationError):
+                apply_plan(cluster, plan, bad)

@@ -1,0 +1,116 @@
+"""Property-based tests for topology conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_test
+from repro.errors import CapacityError
+from repro.topology import build_cluster
+from repro.types import RESOURCE_ORDER, ResourceType
+
+
+@st.composite
+def alloc_release_script(draw):
+    """A random interleaving of allocations and releases."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(RESOURCE_ORDER)),
+                st.integers(0, 5),  # box index mod
+                st.integers(1, 8),  # units
+                st.booleans(),  # try a release after
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+
+
+@given(alloc_release_script())
+@settings(max_examples=60, deadline=None)
+def test_conservation_under_random_alloc_release(script):
+    """Availability totals always equal capacity minus live allocations, and
+    rack max caches always agree with a fresh recomputation."""
+    cluster = build_cluster(tiny_test())
+    live = []
+    outstanding = {t: 0 for t in RESOURCE_ORDER}
+    for rtype, box_mod, units, do_release in script:
+        boxes = cluster.boxes(rtype)
+        box = boxes[box_mod % len(boxes)]
+        try:
+            receipt = box.allocate(units)
+        except CapacityError:
+            assert units > box.avail_units
+        else:
+            live.append((box, receipt))
+            outstanding[rtype] += units
+        if do_release and live:
+            rbox, rreceipt = live.pop()
+            rbox.release(rreceipt)
+            outstanding[rbox.rtype] -= rreceipt.units
+
+        for t in RESOURCE_ORDER:
+            assert (
+                cluster.total_avail(t)
+                == cluster.total_capacity(t) - outstanding[t]
+            )
+        for rack in cluster.racks:
+            for t in RESOURCE_ORDER:
+                expected = max((b.avail_units for b in rack.boxes(t)), default=0)
+                assert rack.max_avail(t) == expected
+                assert rack.total_avail(t) == sum(
+                    b.avail_units for b in rack.boxes(t)
+                )
+
+    # Drain everything; cluster must return to pristine state.
+    for box, receipt in reversed(live):
+        box.release(receipt)
+    for t in RESOURCE_ORDER:
+        assert cluster.total_avail(t) == cluster.total_capacity(t)
+
+
+@given(st.lists(st.integers(1, 16), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_box_never_over_capacity(amounts):
+    """A box rejects exactly the allocations that would overflow."""
+    cluster = build_cluster(tiny_test())
+    box = cluster.boxes(ResourceType.CPU)[0]
+    for units in amounts:
+        if units <= box.avail_units:
+            box.allocate(units)
+        else:
+            try:
+                box.allocate(units)
+            except CapacityError:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("overflow allocation accepted")
+        assert 0 <= box.used_units <= box.capacity_units
+        assert box.used_units == sum(b.used_units for b in box.bricks)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_snapshot_restore_is_exact(data):
+    """restore(snapshot()) recovers availability and caches exactly."""
+    cluster = build_cluster(tiny_test())
+    ops = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(list(RESOURCE_ORDER)), st.integers(1, 4)),
+            max_size=10,
+        )
+    )
+    for rtype, units in ops:
+        box = cluster.boxes(rtype)[0]
+        if box.can_fit(units):
+            box.allocate(units)
+    snap = cluster.snapshot()
+    saved_avail = {t: cluster.total_avail(t) for t in RESOURCE_ORDER}
+    for rtype in RESOURCE_ORDER:
+        box = cluster.boxes(rtype)[0]
+        if box.can_fit(1):
+            box.allocate(1)
+    cluster.restore(snap)
+    assert cluster.snapshot() == snap
+    for t in RESOURCE_ORDER:
+        assert cluster.total_avail(t) == saved_avail[t]

@@ -1,0 +1,86 @@
+"""Tests for Rack cached maxima — RISA's pool-membership machinery."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.errors import TopologyError
+from repro.topology import build_cluster
+from repro.types import ResourceType, ResourceVector
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(tiny_test())
+
+
+def test_max_avail_initial(cluster):
+    rack = cluster.rack(0)
+    for rtype in ResourceType:
+        assert rack.max_avail(rtype) == 8
+
+
+def test_max_avail_tracks_allocation(cluster):
+    rack = cluster.rack(0)
+    box = rack.boxes(ResourceType.CPU)[0]
+    box.allocate(5)
+    assert rack.max_avail(ResourceType.CPU) == 3
+
+
+def test_max_avail_tracks_release(cluster):
+    rack = cluster.rack(0)
+    box = rack.boxes(ResourceType.CPU)[0]
+    receipt = box.allocate(5)
+    box.release(receipt)
+    assert rack.max_avail(ResourceType.CPU) == 8
+
+
+def test_max_over_multiple_boxes():
+    from repro.config import paper_default
+
+    cluster = build_cluster(paper_default())
+    rack = cluster.rack(0)
+    box0, box1 = rack.boxes(ResourceType.RAM)
+    box0.allocate(100)
+    assert rack.max_avail(ResourceType.RAM) == 128  # box1 untouched
+    box1.allocate(10)
+    assert rack.max_avail(ResourceType.RAM) == 118
+
+
+def test_total_avail(cluster):
+    rack = cluster.rack(0)
+    rack.boxes(ResourceType.RAM)[0].allocate(3)
+    assert rack.total_avail(ResourceType.RAM) == 5
+
+
+def test_can_host_is_per_box_not_aggregate():
+    """A VM must fit in ONE box per type — the INTRA_RACK_POOL criterion."""
+    from repro.config import paper_default
+
+    cluster = build_cluster(paper_default())
+    rack = cluster.rack(0)
+    box0, box1 = rack.boxes(ResourceType.CPU)
+    box0.allocate(120)
+    box1.allocate(120)
+    # Aggregate availability is 16 units, but no single box has 10.
+    assert rack.total_avail(ResourceType.CPU) == 16
+    assert not rack.can_host(ResourceVector(cpu=10, ram=1, storage=1))
+    assert rack.can_host(ResourceVector(cpu=8, ram=1, storage=1))
+
+
+def test_has_box_for(cluster):
+    rack = cluster.rack(0)
+    assert rack.has_box_for(ResourceType.STORAGE, 8)
+    assert not rack.has_box_for(ResourceType.STORAGE, 9)
+
+
+def test_attach_box_wrong_rack_rejected(cluster):
+    rack0 = cluster.rack(0)
+    box_in_rack1 = cluster.rack(1).boxes(ResourceType.CPU)[0]
+    with pytest.raises(TopologyError):
+        rack0.attach_box(box_in_rack1)
+
+
+def test_all_boxes_grouped_by_type(cluster):
+    boxes = cluster.rack(0).all_boxes()
+    types = [b.rtype for b in boxes]
+    assert types == [ResourceType.CPU, ResourceType.RAM, ResourceType.STORAGE]

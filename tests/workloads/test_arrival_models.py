@@ -1,0 +1,89 @@
+"""Tests for MMPP and diurnal arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import make_rng
+from repro.workloads.arrival_models import (
+    MMPPParams,
+    burstiness_index,
+    diurnal_arrival_times,
+    mmpp_arrival_times,
+    with_arrivals,
+)
+from tests.conftest import make_vm
+
+
+class TestMMPP:
+    def test_monotone(self):
+        arrivals = mmpp_arrival_times(make_rng(0), 2000)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_burstier_than_poisson(self):
+        from repro.workloads import poisson_arrival_times
+
+        mmpp = mmpp_arrival_times(make_rng(0), 5000)
+        poisson = poisson_arrival_times(make_rng(0), 5000, 10.0)
+        assert burstiness_index(mmpp) > burstiness_index(poisson)
+        assert burstiness_index(poisson) == pytest.approx(1.0, abs=0.1)
+
+    def test_deterministic(self):
+        a = mmpp_arrival_times(make_rng(3), 500)
+        b = mmpp_arrival_times(make_rng(3), 500)
+        assert np.array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            MMPPParams(calm_interarrival=0)
+        with pytest.raises(WorkloadError):
+            mmpp_arrival_times(make_rng(0), -1)
+
+    def test_degenerate_equal_states_is_poisson_like(self):
+        params = MMPPParams(
+            calm_interarrival=10.0, burst_interarrival=10.0,
+            calm_dwell=100.0, burst_dwell=100.0,
+        )
+        arrivals = mmpp_arrival_times(make_rng(0), 5000, params)
+        assert burstiness_index(arrivals) == pytest.approx(1.0, abs=0.1)
+
+
+class TestDiurnal:
+    def test_monotone(self):
+        arrivals = diurnal_arrival_times(make_rng(0), 2000)
+        assert np.all(np.diff(arrivals) > 0)
+
+    def test_zero_amplitude_is_poisson(self):
+        arrivals = diurnal_arrival_times(make_rng(0), 5000, amplitude=0.0)
+        assert burstiness_index(arrivals) == pytest.approx(1.0, abs=0.1)
+        gaps = np.diff(np.concatenate([[0.0], arrivals]))
+        assert gaps.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_rate_modulation_visible(self):
+        """Counts in rate-peak windows exceed counts in rate-trough windows."""
+        period = 1000.0
+        arrivals = diurnal_arrival_times(
+            make_rng(1), 20_000, base_interarrival=1.0, period=period,
+            amplitude=0.9,
+        )
+        phase = (arrivals % period) / period
+        peak = np.sum((phase > 0.15) & (phase < 0.35))    # around sin max
+        trough = np.sum((phase > 0.65) & (phase < 0.85))  # around sin min
+        assert peak > 2 * trough
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(WorkloadError):
+            diurnal_arrival_times(make_rng(0), 10, amplitude=1.0)
+
+
+class TestWithArrivals:
+    def test_retimes_vms(self):
+        vms = [make_vm(vm_id=i, arrival=0.0) for i in range(3)]
+        retimed = with_arrivals(vms, np.array([1.0, 2.0, 3.0]))
+        assert [vm.arrival for vm in retimed] == [1.0, 2.0, 3.0]
+        assert [vm.vm_id for vm in retimed] == [0, 1, 2]
+        assert all(vm.arrival == 0.0 for vm in vms)  # originals untouched
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            with_arrivals([make_vm()], np.array([1.0, 2.0]))

@@ -1,0 +1,112 @@
+"""Tests for the Azure-calibrated trace synthesizer and trace loader."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    AZURE_CPU_COUNTS,
+    AZURE_RAM_COUNTS,
+    AZURE_SUBSETS,
+    azure_subset_counts,
+    cpu_histogram,
+    load_azure_trace_csv,
+    ram_histogram,
+    synthesize_azure,
+)
+
+
+class TestFigure6Marginals:
+    @pytest.mark.parametrize("subset", AZURE_SUBSETS)
+    def test_cpu_histogram_exact(self, subset):
+        vms = synthesize_azure(subset, seed=0)
+        assert cpu_histogram(vms) == dict(AZURE_CPU_COUNTS[subset])
+
+    @pytest.mark.parametrize("subset", AZURE_SUBSETS)
+    def test_ram_histogram_exact(self, subset):
+        vms = synthesize_azure(subset, seed=0)
+        assert ram_histogram(vms) == dict(AZURE_RAM_COUNTS[subset])
+
+    @pytest.mark.parametrize("subset", AZURE_SUBSETS)
+    def test_marginal_tables_sum_to_subset(self, subset):
+        cpu, ram = azure_subset_counts(subset)
+        assert sum(cpu.values()) == subset
+        assert sum(ram.values()) == subset
+
+    def test_storage_fixed_at_128(self):
+        assert all(vm.storage_gb == 128.0 for vm in synthesize_azure(3000, seed=0))
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_azure(4000)
+
+
+class TestTiming:
+    def test_lifetime_override(self):
+        vms = synthesize_azure(3000, seed=0, lifetime=42.0)
+        assert all(vm.lifetime == 42.0 for vm in vms)
+
+    def test_default_lifetime_grows_with_subset(self):
+        lifetimes = [synthesize_azure(s, seed=0)[0].lifetime for s in AZURE_SUBSETS]
+        assert lifetimes == sorted(lifetimes)
+        assert len(set(lifetimes)) == 3
+
+    def test_seed_determinism(self):
+        assert synthesize_azure(3000, seed=9) == synthesize_azure(3000, seed=9)
+
+    def test_pairing_varies_with_seed(self):
+        a = synthesize_azure(3000, seed=1)
+        b = synthesize_azure(3000, seed=2)
+        assert any(
+            (x.cpu_cores, x.ram_gb) != (y.cpu_cores, y.ram_gb)
+            for x, y in zip(a, b)
+        )
+
+
+class TestRealTraceLoader:
+    def _write_trace(self, path, rows):
+        lines = []
+        for row in rows:
+            cells = [""] * 11
+            (cells[0], cells[3], cells[4], cells[9], cells[10]) = [str(v) for v in row]
+            lines.append(",".join(cells))
+        path.write_text("\n".join(lines))
+
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "vmtable.csv"
+        self._write_trace(
+            path,
+            [("vm1", 100, 400, 2, 3.5), ("vm2", 150, 600, 4, 7.0)],
+        )
+        vms = load_azure_trace_csv(path)
+        assert len(vms) == 2
+        assert vms[0].arrival == 0.0 and vms[0].lifetime == 300.0
+        assert vms[1].arrival == 50.0
+        assert vms[1].cpu_cores == 4 and vms[1].ram_gb == 7.0
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "vmtable.csv"
+        self._write_trace(path, [(f"vm{i}", i, i + 10, 1, 2) for i in range(10)])
+        assert len(load_azure_trace_csv(path, limit=4)) == 4
+
+    def test_skips_bad_lifetimes(self, tmp_path):
+        path = tmp_path / "vmtable.csv"
+        self._write_trace(
+            path, [("vm1", 100, 100, 1, 2), ("vm2", 100, 200, 1, 2)]
+        )
+        assert len(load_azure_trace_csv(path)) == 1
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_azure_trace_csv(tmp_path / "nope.csv")
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "vmtable.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(WorkloadError):
+            load_azure_trace_csv(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "vmtable.csv"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            load_azure_trace_csv(path)

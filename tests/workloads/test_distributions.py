@@ -1,0 +1,86 @@
+"""Tests for workload distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    exact_composition,
+    make_rng,
+    poisson_arrival_times,
+    sample_discrete,
+    uniform_integers,
+)
+
+
+class TestPoissonArrivals:
+    def test_monotone_nondecreasing(self):
+        arrivals = poisson_arrival_times(make_rng(0), 1000, 10.0)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_mean_interarrival_close_to_target(self):
+        arrivals = poisson_arrival_times(make_rng(0), 20_000, 10.0)
+        gaps = np.diff(np.concatenate([[0.0], arrivals]))
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = poisson_arrival_times(make_rng(7), 100, 10.0)
+        b = poisson_arrival_times(make_rng(7), 100, 10.0)
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrival_times(make_rng(0), -1, 10.0)
+        with pytest.raises(WorkloadError):
+            poisson_arrival_times(make_rng(0), 10, 0.0)
+
+
+class TestExactComposition:
+    def test_counts_exact(self):
+        counts = {"a": 3, "b": 5, "c": 0}
+        out = exact_composition(make_rng(0), counts)
+        assert len(out) == 8
+        assert out.count("a") == 3 and out.count("b") == 5 and out.count("c") == 0
+
+    def test_shuffled_not_sorted(self):
+        counts = {i: 10 for i in range(20)}
+        out = exact_composition(make_rng(1), counts)
+        assert out != sorted(out)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            exact_composition(make_rng(0), {"a": -1})
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(0, 20), max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_multiset_preserved_property(self, counts):
+        out = exact_composition(make_rng(0), counts)
+        for key, count in counts.items():
+            assert out.count(key) == count
+
+
+class TestUniformAndDiscrete:
+    def test_uniform_range_inclusive(self):
+        values = uniform_integers(make_rng(0), 5000, 1, 32)
+        assert values.min() >= 1 and values.max() <= 32
+        assert set(np.unique(values)) >= {1, 32}
+
+    def test_uniform_empty_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_integers(make_rng(0), 10, 5, 4)
+
+    def test_sample_discrete_respects_support(self):
+        out = sample_discrete(make_rng(0), ["x", "y"], [0.5, 0.5], 100)
+        assert set(out) <= {"x", "y"}
+
+    def test_sample_discrete_zero_weight_excluded(self):
+        out = sample_discrete(make_rng(0), ["x", "y"], [1.0, 0.0], 200)
+        assert set(out) == {"x"}
+
+    def test_sample_discrete_invalid(self):
+        with pytest.raises(WorkloadError):
+            sample_discrete(make_rng(0), ["x"], [1.0, 2.0], 5)
+        with pytest.raises(WorkloadError):
+            sample_discrete(make_rng(0), ["x"], [0.0], 5)

@@ -1,0 +1,66 @@
+"""Tests for the Section 5.1 synthetic workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+class TestPaperParameters:
+    def test_default_count(self):
+        assert len(generate_synthetic(seed=0)) == 2500
+
+    def test_resource_ranges(self):
+        vms = generate_synthetic(seed=0)
+        assert all(1 <= vm.cpu_cores <= 32 for vm in vms)
+        assert all(1 <= vm.ram_gb <= 32 for vm in vms)
+        assert all(vm.storage_gb == 128.0 for vm in vms)
+
+    def test_lifetime_ramp(self):
+        """6300 base, +360 per 100 requests."""
+        vms = generate_synthetic(seed=0)
+        assert vms[0].lifetime == 6300.0
+        assert vms[99].lifetime == 6300.0
+        assert vms[100].lifetime == 6660.0
+        assert vms[2499].lifetime == 6300.0 + 360.0 * 24
+
+    def test_arrivals_sorted(self):
+        vms = generate_synthetic(seed=0)
+        arrivals = [vm.arrival for vm in vms]
+        assert arrivals == sorted(arrivals)
+
+    def test_vm_ids_sequential(self):
+        vms = generate_synthetic(seed=0)
+        assert [vm.vm_id for vm in vms] == list(range(2500))
+
+
+class TestDeterminismAndParams:
+    def test_same_seed_same_trace(self):
+        assert generate_synthetic(seed=5) == generate_synthetic(seed=5)
+
+    def test_different_seed_different_trace(self):
+        assert generate_synthetic(seed=1) != generate_synthetic(seed=2)
+
+    def test_custom_count(self):
+        params = SyntheticWorkloadParams(count=50)
+        assert len(generate_synthetic(params, seed=0)) == 50
+
+    def test_lifetime_of_helper(self):
+        params = SyntheticWorkloadParams()
+        assert params.lifetime_of(0) == 6300.0
+        assert params.lifetime_of(250) == 6300.0 + 2 * 360.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": -1},
+            {"cpu_cores_min": 0},
+            {"cpu_cores_min": 9, "cpu_cores_max": 8},
+            {"ram_gb_min": 2, "ram_gb_max": 1},
+            {"base_lifetime": 0.0},
+            {"vms_per_lifetime_step": 0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadParams(**kwargs)

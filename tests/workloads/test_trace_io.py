@@ -1,0 +1,57 @@
+"""Tests for JSONL trace persistence."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    generate_synthetic,
+    load_trace,
+    save_trace,
+    vm_from_dict,
+    vm_to_dict,
+)
+from tests.conftest import make_vm
+
+
+def test_roundtrip_single(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    vm = make_vm(vm_id=7, arrival=1.5, lifetime=99.0)
+    assert save_trace([vm], path) == 1
+    assert load_trace(path) == [vm]
+
+
+def test_roundtrip_synthetic_workload(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    vms = generate_synthetic(seed=0)[:200]
+    save_trace(vms, path)
+    assert load_trace(path) == vms
+
+
+def test_dict_roundtrip():
+    vm = make_vm(vm_id=3)
+    assert vm_from_dict(vm_to_dict(vm)) == vm
+
+
+def test_missing_field_rejected():
+    with pytest.raises(WorkloadError):
+        vm_from_dict({"vm_id": 1})
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(WorkloadError):
+        load_trace(tmp_path / "nope.jsonl")
+
+
+def test_invalid_json_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json}\n")
+    with pytest.raises(WorkloadError):
+        load_trace(path)
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    vm = make_vm()
+    save_trace([vm], path)
+    path.write_text(path.read_text() + "\n\n")
+    assert load_trace(path) == [vm]

@@ -1,0 +1,57 @@
+"""Tests for VMRequest validation and request resolution."""
+
+import pytest
+
+from repro.config import paper_default
+from repro.errors import WorkloadError
+from repro.workloads import VMRequest, resolve, resolve_all
+from tests.conftest import make_vm
+
+
+class TestValidation:
+    def test_departure(self):
+        vm = make_vm(arrival=5.0, lifetime=10.0)
+        assert vm.departure == 15.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival": -1.0},
+            {"lifetime": 0.0},
+            {"cpu_cores": 0},
+            {"ram_gb": 0.0},
+            {"storage_gb": -1.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            make_vm(**kwargs)
+
+    def test_zero_storage_allowed(self):
+        assert make_vm(storage_gb=0.0).storage_gb == 0.0
+
+
+class TestResolve:
+    def test_typical_vm_units(self, paper_spec):
+        # 8 cores -> 2 units, 16 GB -> 4 units, 128 GB -> 2 units
+        req = resolve(make_vm(), paper_spec)
+        assert (req.units.cpu, req.units.ram, req.units.storage) == (2, 4, 2)
+
+    def test_typical_vm_bandwidth(self, paper_spec):
+        req = resolve(make_vm(), paper_spec)
+        assert req.cpu_ram_gbps == 20.0  # 5 Gb/s x 4 RAM units
+        assert req.ram_storage_gbps == 2.0  # 1 Gb/s x 2 storage units
+
+    def test_rounding_up(self, paper_spec):
+        req = resolve(make_vm(cpu_cores=1, ram_gb=1.0, storage_gb=1.0), paper_spec)
+        assert (req.units.cpu, req.units.ram, req.units.storage) == (1, 1, 1)
+
+    def test_slice_larger_than_box_rejected(self, paper_spec):
+        # A box holds 512 cores; ask for more.
+        with pytest.raises(WorkloadError):
+            resolve(make_vm(cpu_cores=513), paper_spec)
+
+    def test_resolve_all_preserves_order(self, paper_spec):
+        vms = [make_vm(vm_id=i) for i in range(5)]
+        resolved = resolve_all(vms, paper_spec)
+        assert [r.vm_id for r in resolved] == [0, 1, 2, 3, 4]
