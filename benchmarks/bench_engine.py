@@ -1,0 +1,118 @@
+"""Engine benchmarks: flat calendar vs generator-based reference engine.
+
+Two layers of measurement on the same 10k-VM synthetic trace:
+
+* **engine throughput** — both engines driven with no-op lifecycle handlers,
+  isolating pure event-dispatch cost (heap + dispatch for the flat calendar;
+  process bootstrap, generator frames, and callback churn for the reference
+  engine).  ``test_flat_engine_speedup`` gates on the flat engine being at
+  least 2x faster here.
+* **end-to-end simulation** — ``DDCSimulator`` per engine with a real
+  scheduler, where scheduler decisions and metrics (identical across
+  engines) dominate; reported for context, not gated.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import paper_default
+from repro.sim import DDCSimulator, ENGINES, Environment, FlatEngine
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic, resolve_all
+
+from conftest import bench_quick
+
+#: Acceptance floor for the flat engine's event-dispatch speedup.
+MIN_SPEEDUP = 2.0
+
+VM_COUNT = 2_000 if bench_quick() else 10_000
+
+
+@pytest.fixture(scope="module")
+def requests():
+    """The 10k-VM synthetic trace, resolved once for all benchmarks."""
+    spec = paper_default()
+    vms = generate_synthetic(SyntheticWorkloadParams(count=VM_COUNT), seed=0)
+    return resolve_all(vms, spec)
+
+
+def drive_flat(requests) -> int:
+    """Run the flat calendar with no-op handlers; returns events processed."""
+    count = 0
+
+    def on_arrival(request, now):
+        nonlocal count
+        count += 1
+        return request  # every VM "places" -> schedules a departure
+
+    def on_departure(payload, now):
+        nonlocal count
+        count += 1
+
+    FlatEngine().run(iter(requests), on_arrival, on_departure)
+    return count
+
+
+def drive_generator(requests) -> int:
+    """Run the generator engine over the same arrival/departure lifecycle."""
+    count = 0
+
+    def vm_process(env, request):
+        nonlocal count
+        yield env.timeout(request.vm.arrival)
+        count += 1
+        yield env.timeout(request.vm.lifetime)
+        count += 1
+
+    env = Environment()
+    for request in requests:
+        env.process(vm_process(env, request))
+    env.run()
+    return count
+
+
+def _best_of(fn, requests, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events = fn(requests)
+        best = min(best, time.perf_counter() - start)
+        assert events == 2 * len(requests)
+    return best
+
+
+def test_flat_engine_speedup(requests):
+    """The flat engine must dispatch events >= 2x faster than the reference."""
+    flat = _best_of(drive_flat, requests)
+    generator = _best_of(drive_generator, requests)
+    speedup = generator / flat
+    print(
+        f"\nengine throughput over {len(requests)} VMs: "
+        f"flat={flat:.4f}s generator={generator:.4f}s speedup={speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"flat engine only {speedup:.2f}x faster (< {MIN_SPEEDUP}x floor)"
+    )
+
+
+@pytest.mark.parametrize("engine", ["flat", "generator"])
+def test_engine_event_throughput(benchmark, requests, engine):
+    """Per-engine event-dispatch timing (no scheduler, no metrics)."""
+    driver = drive_flat if engine == "flat" else drive_generator
+    events = benchmark.pedantic(driver, args=(requests,), rounds=3, iterations=1)
+    assert events == 2 * len(requests)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_end_to_end_simulation(benchmark, engine):
+    """Full DDCSimulator run per engine (scheduler + metrics included)."""
+    spec = paper_default()
+    vms = generate_synthetic(SyntheticWorkloadParams(count=VM_COUNT), seed=0)
+
+    def run():
+        return DDCSimulator(spec, "nulb", engine=engine).run(vms)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.summary.total_vms == VM_COUNT

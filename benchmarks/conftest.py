@@ -7,7 +7,10 @@ once per session (``rounds=1``) — the measured quantity is the end-to-end
 experiment wall time; the *output* is the regenerated figure, printed so
 ``pytest benchmarks/ --benchmark-only -s`` shows the ASCII figures.
 
-Set ``REPRO_BENCH_QUICK=1`` to run the reduced workloads instead.
+Set ``REPRO_BENCH_QUICK=1`` to run the reduced workloads instead, and
+``REPRO_BENCH_ENGINE=flat|generator`` to pick the simulation engine every
+benchmarked experiment runs on (it is forwarded to ``REPRO_SIM_ENGINE``, the
+process-wide default the simulator reads).
 """
 
 from __future__ import annotations
@@ -15,6 +18,9 @@ from __future__ import annotations
 import os
 
 import pytest
+
+if "REPRO_BENCH_ENGINE" in os.environ:
+    os.environ["REPRO_SIM_ENGINE"] = os.environ["REPRO_BENCH_ENGINE"]
 
 
 def bench_quick() -> bool:

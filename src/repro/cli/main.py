@@ -26,9 +26,17 @@ from typing import Sequence
 from ..analysis import compare_schedulers, compare_over_seeds, occupancy_table, placement_map, stats_table
 from ..analysis.fragmentation import fragmentation_summary
 from ..config import paper_default
-from ..sim import DDCSimulator, EventLog
+from ..sim import DDCSimulator, ENGINES, EventLog
 from ..types import ResourceVector
-from ..experiments import EXPERIMENTS, render_report, run_all, run_experiment
+from ..errors import WorkloadError
+from ..experiments import (
+    EXPERIMENTS,
+    SimulationSession,
+    render_report,
+    run_all,
+    run_experiment,
+)
+from ..experiments.sweep import build_workload
 from ..schedulers import ALL_SCHEDULERS, PAPER_SCHEDULERS
 from ..sim import simulate
 from ..workloads import (
@@ -36,7 +44,6 @@ from ..workloads import (
     generate_synthetic,
     load_trace,
     save_trace,
-    synthesize_azure,
 )
 
 
@@ -44,17 +51,19 @@ def _workload_from_args(args: argparse.Namespace):
     """Build the workload selected by --workload / --trace flags."""
     if getattr(args, "trace", None):
         return load_trace(args.trace)
-    name = args.workload
-    if name == "synthetic":
-        params = SyntheticWorkloadParams(count=args.count) if args.count else None
-        return generate_synthetic(params, seed=args.seed)
-    if name.startswith("azure-"):
-        subset = int(name.split("-", 1)[1])
-        vms = synthesize_azure(subset, seed=args.seed)
-        if args.count:
-            vms = vms[: args.count]
-        return vms
-    raise SystemExit(f"unknown workload {name!r}")
+    try:
+        return list(build_workload(args.workload, args.count or None, args.seed))
+    except WorkloadError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="simulation engine (default: flat; 'generator' is the reference engine)",
+    )
 
 
 def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true", help="smaller workloads")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output-dir", help="write per-experiment JSON here")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="fan experiments across N worker processes")
 
     p = sub.add_parser("experiment", help="run one experiment by id")
     p.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -90,9 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run one scheduler on one workload")
     p.add_argument("scheduler", choices=sorted(ALL_SCHEDULERS))
     _add_workload_flags(p)
+    _add_engine_flag(p)
 
     p = sub.add_parser("compare", help="run the paper's four schedulers")
     _add_workload_flags(p)
+    _add_engine_flag(p)
 
     p = sub.add_parser("generate", help="write a workload trace to JSONL")
     p.add_argument("output", help="output JSONL path")
@@ -103,15 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--until", type=float, default=None,
                    help="simulation time to snapshot at (default: peak load)")
     _add_workload_flags(p)
+    _add_engine_flag(p)
 
     p = sub.add_parser("events", help="export the structured event log")
     p.add_argument("scheduler", choices=sorted(ALL_SCHEDULERS))
     p.add_argument("output", help="output JSONL path")
     _add_workload_flags(p)
+    _add_engine_flag(p)
 
     p = sub.add_parser("stats", help="multi-seed comparison with CIs")
     p.add_argument("--seeds", type=int, default=3, help="number of seeds")
     p.add_argument("--count", type=int, default=300, help="VMs per seed")
+
+    p = sub.add_parser(
+        "sweep", help="multi-seed × multi-scheduler sweep, optionally parallel"
+    )
+    p.add_argument("--schedulers", nargs="+", default=list(PAPER_SCHEDULERS),
+                   choices=sorted(ALL_SCHEDULERS), metavar="NAME",
+                   help="schedulers to sweep (default: the paper's four)")
+    p.add_argument("--seeds", type=int, default=3, help="number of seeds")
+    p.add_argument("--workload", default="synthetic",
+                   help="synthetic | azure-3000 | azure-5000 | azure-7500")
+    p.add_argument("--count", type=int, default=0, help="truncate to N VMs")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="fan runs across N worker processes")
+    _add_engine_flag(p)
     return parser
 
 
@@ -120,7 +149,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "run-all":
-        results = run_all(quick=args.quick, seed=args.seed, output_dir=args.output_dir)
+        results = run_all(quick=args.quick, seed=args.seed,
+                          output_dir=args.output_dir, parallel=args.parallel)
         print(render_report(results))
         return 0 if all(r.shape_ok for r in results) else 1
 
@@ -131,14 +161,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "simulate":
         vms = _workload_from_args(args)
-        result = simulate(paper_default(), args.scheduler, vms)
+        result = simulate(paper_default(), args.scheduler, vms, engine=args.engine)
         for key, value in result.summary.as_dict().items():
             print(f"{key:32s} {value}")
         return 0
 
     if args.command == "compare":
         vms = _workload_from_args(args)
-        comparison = compare_schedulers(paper_default(), vms, PAPER_SCHEDULERS)
+        comparison = compare_schedulers(paper_default(), vms, PAPER_SCHEDULERS,
+                                        engine=args.engine)
         print(
             comparison.table(
                 [
@@ -167,7 +198,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             # Snapshot at the median departure: near peak concurrency.
             departures = sorted(vm.departure for vm in vms)
             until = departures[len(departures) // 2]
-        sim = DDCSimulator(paper_default(), args.scheduler)
+        sim = DDCSimulator(paper_default(), args.scheduler, engine=args.engine)
         sim.run(vms, until=until)
         print(f"cluster occupancy at t={until:g} under {args.scheduler}:")
         print(placement_map(sim.cluster))
@@ -182,7 +213,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "events":
         vms = _workload_from_args(args)
         log = EventLog()
-        sim = DDCSimulator(paper_default(), args.scheduler, event_log=log)
+        sim = DDCSimulator(paper_default(), args.scheduler, event_log=log,
+                           engine=args.engine)
         sim.run(vms)
         log.audit()
         count = log.save(args.output)
@@ -191,8 +223,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "stats":
-        from ..workloads import SyntheticWorkloadParams
-
         def factory(seed: int):
             return generate_synthetic(
                 SyntheticWorkloadParams(count=args.count), seed=seed
@@ -207,6 +237,34 @@ def main(argv: Sequence[str] | None = None) -> int:
             seeds=tuple(range(args.seeds)),
         )
         print(stats_table(stats))
+        return 0
+
+    if args.command == "sweep":
+        session = SimulationSession(
+            paper_default(),
+            parallel=args.parallel,
+            engine=args.engine,
+        )
+        try:
+            result = session.sweep(
+                schedulers=tuple(args.schedulers),
+                seeds=tuple(range(args.seeds)),
+                workload=args.workload,
+                count=args.count or None,
+            )
+        except WorkloadError as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            result.table(
+                [
+                    "scheduled_vms",
+                    "dropped_vms",
+                    "inter_rack_assignments",
+                    "avg_cpu_ram_latency_ns",
+                    "avg_optical_power_kw",
+                ]
+            )
+        )
         return 0
 
     raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover

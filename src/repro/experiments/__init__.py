@@ -12,6 +12,12 @@ from .figures import (
     run_fig12,
 )
 from .runner import EXPERIMENTS, render_report, run_all, run_experiment
+from .sweep import (
+    SimulationSession,
+    SweepOutcome,
+    SweepPoint,
+    SweepResult,
+)
 from .sensitivity import (
     EXTENSION_EXPERIMENTS,
     run_alpha_sensitivity,
@@ -26,6 +32,10 @@ __all__ = [
     "EXTENSION_EXPERIMENTS",
     "ExperimentResult",
     "ShapeCheck",
+    "SimulationSession",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepResult",
     "render_report",
     "run_all",
     "run_experiment",

@@ -7,8 +7,9 @@ build on; it returns results in paper order and can persist them as JSON.
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from .base import ExperimentResult
 from .figures import (
@@ -51,13 +52,38 @@ def run_experiment(experiment_id: str, quick: bool = False, seed: int = 0) -> Ex
     return driver(quick=quick, seed=seed)
 
 
+def _run_experiment_task(args: tuple[str, bool, int]) -> ExperimentResult:
+    """Pool-side wrapper (module level so the executor can pickle it)."""
+    experiment_id, quick, seed = args
+    return run_experiment(experiment_id, quick=quick, seed=seed)
+
+
 def run_all(
     quick: bool = False,
     seed: int = 0,
     output_dir: str | Path | None = None,
+    parallel: int = 1,
+    experiments: Sequence[str] | None = None,
 ) -> list[ExperimentResult]:
-    """Run every experiment; optionally write JSON results per experiment."""
-    results = [driver(quick=quick, seed=seed) for driver in EXPERIMENTS.values()]
+    """Run every experiment; optionally write JSON results per experiment.
+
+    ``parallel=N`` fans independent experiment drivers across up to N worker
+    processes (results still come back in paper order); ``experiments``
+    restricts the run to a subset of ids.
+    """
+    if experiments is None:
+        ids = list(EXPERIMENTS)
+    else:
+        unknown = [i for i in experiments if i not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+        ids = list(experiments)
+    if parallel <= 1 or len(ids) <= 1:
+        results = [run_experiment(i, quick=quick, seed=seed) for i in ids]
+    else:
+        tasks = [(i, quick, seed) for i in ids]
+        with ProcessPoolExecutor(max_workers=min(parallel, len(ids))) as pool:
+            results = list(pool.map(_run_experiment_task, tasks))
     if output_dir is not None:
         out = Path(output_dir)
         out.mkdir(parents=True, exist_ok=True)

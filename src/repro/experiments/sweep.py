@@ -1,0 +1,206 @@
+"""Parallel sweep orchestration.
+
+A :class:`SimulationSession` fans (scheduler, seed, workload) simulation
+points across ``concurrent.futures.ProcessPoolExecutor`` workers.  Points
+reference workloads *by name and seed*, never by value: each worker process
+regenerates traces through a module-level LRU cache, so a four-scheduler
+sweep over one seed builds that trace once per worker instead of pickling
+multi-megabyte VM lists across the pool boundary.
+
+Results come back as picklable :class:`SweepOutcome` rows (summary scalars
+only — per-VM records stay in the worker) in submission order, so a
+``parallel=1`` session and an N-worker session produce identical output.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from ..analysis.ascii_plot import ascii_table
+from ..config import ClusterSpec, paper_default
+from ..errors import WorkloadError
+from ..metrics import RunSummary, aggregate_summaries
+from ..schedulers import PAPER_SCHEDULERS
+from ..sim import default_engine, simulate
+from ..workloads import SyntheticWorkloadParams, VMRequest, generate_synthetic, synthesize_azure
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One simulation to run: scheduler × seed × workload (by reference)."""
+
+    scheduler: str
+    seed: int = 0
+    workload: str = "synthetic"
+    count: int | None = None
+    #: None resolves to the worker's process-wide default engine.
+    engine: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SweepOutcome:
+    """Scalar results of one sweep point."""
+
+    point: SweepPoint
+    summary: RunSummary
+    end_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """All outcomes of one sweep, in submission order."""
+
+    outcomes: tuple[SweepOutcome, ...]
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def summaries(self, scheduler: str) -> tuple[RunSummary, ...]:
+        """Every per-seed summary for one scheduler, in seed order."""
+        return tuple(
+            o.summary for o in self.outcomes if o.point.scheduler == scheduler
+        )
+
+    def schedulers(self) -> tuple[str, ...]:
+        """Scheduler names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for outcome in self.outcomes:
+            seen.setdefault(outcome.point.scheduler, None)
+        return tuple(seen)
+
+    def aggregated(self) -> dict[str, dict]:
+        """Seed-averaged metrics per scheduler (see ``aggregate_summaries``)."""
+        return {
+            name: aggregate_summaries(self.summaries(name))
+            for name in self.schedulers()
+        }
+
+    def table(self, metrics: Sequence[str]) -> str:
+        """ASCII table of seed-averaged metrics, one row per scheduler."""
+        aggregated = self.aggregated()
+        headers = ["scheduler", "runs", *metrics]
+        rows = [
+            [name, str(agg["runs"])] + [f"{agg[m]:.4g}" for m in metrics]
+            for name, agg in aggregated.items()
+        ]
+        return ascii_table(headers, rows)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side machinery (module level so the pool can pickle it)
+# ---------------------------------------------------------------------- #
+
+_WORKER_SPEC: ClusterSpec | None = None
+
+
+def _init_worker(spec: ClusterSpec) -> None:
+    """Pool initializer: pin the cluster spec once per worker process."""
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+@lru_cache(maxsize=32)
+def build_workload(workload: str, count: int | None, seed: int) -> tuple[VMRequest, ...]:
+    """Build (and cache, per process) one named workload trace.
+
+    The single parser for workload names — the CLI and the sweep layer both
+    resolve ``synthetic`` / ``azure-<subset>`` through here.
+    """
+    if workload == "synthetic":
+        params = SyntheticWorkloadParams(count=count) if count is not None else None
+        return tuple(generate_synthetic(params, seed=seed))
+    if workload.startswith("azure-"):
+        try:
+            subset = int(workload.split("-", 1)[1])
+        except ValueError:
+            raise WorkloadError(
+                f"bad azure workload {workload!r}; expected 'azure-<subset>' "
+                "with a numeric subset, e.g. azure-3000"
+            ) from None
+        vms = synthesize_azure(subset, seed=seed)
+        return tuple(vms if count is None else vms[:count])
+    raise WorkloadError(
+        f"unknown workload {workload!r}; use 'synthetic' or 'azure-<subset>'"
+    )
+
+
+def _run_point(point: SweepPoint) -> SweepOutcome:
+    """Run one sweep point against the worker's pinned spec."""
+    spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
+    vms = build_workload(point.workload, point.count, point.seed)
+    result = simulate(spec, point.scheduler, vms, engine=point.engine)
+    return SweepOutcome(point=point, summary=result.summary, end_time=result.end_time)
+
+
+# ---------------------------------------------------------------------- #
+# Session
+# ---------------------------------------------------------------------- #
+
+
+class SimulationSession:
+    """Runs sweep points serially or across a process pool.
+
+    ``parallel=1`` executes in-process (no pool, no pickling) — the path
+    tests and small sweeps use; ``parallel=N`` spins up at most N workers,
+    each initialized once with the session's spec.  ``engine=None`` resolves
+    to the process-wide default (``REPRO_SIM_ENGINE`` or flat).
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        parallel: int = 1,
+        engine: str | None = None,
+    ) -> None:
+        self.spec = spec if spec is not None else paper_default()
+        self.parallel = max(1, int(parallel))
+        self.engine = default_engine() if engine is None else engine
+
+    def run_points(self, points: Iterable[SweepPoint]) -> SweepResult:
+        """Execute points, preserving submission order in the result."""
+        points = list(points)
+        if self.parallel == 1 or len(points) <= 1:
+            _init_worker(self.spec)
+            outcomes = [_run_point(point) for point in points]
+        else:
+            workers = min(self.parallel, len(points))
+            # Chunking keeps adjacent points (which sweep() orders seed-major,
+            # i.e. sharing a workload) on the same worker, so its per-process
+            # trace cache actually gets hits.
+            chunksize = max(1, len(points) // (workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.spec,),
+            ) as pool:
+                outcomes = list(pool.map(_run_point, points, chunksize=chunksize))
+        return SweepResult(outcomes=tuple(outcomes))
+
+    def sweep(
+        self,
+        schedulers: Sequence[str] = PAPER_SCHEDULERS,
+        seeds: Sequence[int] = (0,),
+        workload: str = "synthetic",
+        count: int | None = None,
+    ) -> SweepResult:
+        """The common grid: every scheduler × every seed on one workload.
+
+        Points are ordered seed-major (all schedulers of seed 0, then seed
+        1, ...) so points sharing a trace sit adjacent — cache locality for
+        the per-worker workload cache.
+        """
+        points = [
+            SweepPoint(
+                scheduler=scheduler,
+                seed=seed,
+                workload=workload,
+                count=count,
+                engine=self.engine,
+            )
+            for seed in seeds
+            for scheduler in schedulers
+        ]
+        return self.run_points(points)

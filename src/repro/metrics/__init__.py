@@ -2,12 +2,13 @@
 
 from .collector import MetricsCollector, VMRecord
 from .gauges import TimeWeightedGauge
-from .summary import RunSummary, summarize
+from .summary import RunSummary, aggregate_summaries, summarize
 
 __all__ = [
     "MetricsCollector",
     "RunSummary",
     "TimeWeightedGauge",
     "VMRecord",
+    "aggregate_summaries",
     "summarize",
 ]

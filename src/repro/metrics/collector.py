@@ -133,6 +133,20 @@ class MetricsCollector:
         """Accumulate wall-clock time spent inside scheduler decisions."""
         self.scheduler_time_s += seconds
 
+    def reset(self) -> None:
+        """Return the collector to its just-built state (records, gauges,
+        power, and timing all cleared).
+
+        After a completed run every resource is back in the pool, so a reset
+        lets the same simulator replay another trace without rebuilding the
+        cluster/fabric wiring.
+        """
+        self.records.clear()
+        self.scheduler_time_s = 0.0
+        self.first_arrival = None
+        self.last_event_time = 0.0
+        self.__post_init__()
+
     # ------------------------------------------------------------------ #
     # Derived quantities
     # ------------------------------------------------------------------ #

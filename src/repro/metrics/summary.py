@@ -8,6 +8,7 @@ vectorized reductions over per-VM records.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -43,6 +44,27 @@ class RunSummary:
     def as_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""
         return asdict(self)
+
+
+def aggregate_summaries(summaries: Sequence[RunSummary]) -> dict:
+    """Merge per-run summaries into mean metrics (multi-seed aggregation).
+
+    Every numeric :class:`RunSummary` field is averaged across runs; the
+    ``scheduler`` label is kept when uniform (the usual per-scheduler sweep
+    axis) and reported as ``"mixed"`` otherwise.  ``runs`` counts the inputs.
+    """
+    if not summaries:
+        raise ValueError("aggregate_summaries needs at least one summary")
+    schedulers = {s.scheduler for s in summaries}
+    out: dict = {
+        "scheduler": summaries[0].scheduler if len(schedulers) == 1 else "mixed",
+        "runs": len(summaries),
+    }
+    dicts = [s.as_dict() for s in summaries]
+    for key, value in dicts[0].items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(np.mean([d[key] for d in dicts]))
+    return out
 
 
 def summarize(scheduler_name: str, collector: MetricsCollector) -> RunSummary:

@@ -1,25 +1,30 @@
-"""Discrete-event simulation: the generator-based engine and the DDC driver."""
+"""Discrete-event simulation: the flat calendar engine, the generator-based
+reference engine, and the DDC driver."""
 
 from .conditions import AllOf, AnyOf
+from .engine import FlatEngine
 from .environment import Environment, Process
 from .event_log import EventLog, SimEvent
 from .events import Event, Timeout
 from .resources import SimResource, SimStore
 from .results import SimulationResult
-from .simulator import DDCSimulator, simulate
+from .simulator import ENGINES, DDCSimulator, default_engine, simulate
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "DDCSimulator",
+    "ENGINES",
     "Environment",
     "Event",
     "EventLog",
+    "FlatEngine",
     "Process",
     "SimResource",
     "SimEvent",
     "SimStore",
     "SimulationResult",
     "Timeout",
+    "default_engine",
     "simulate",
 ]

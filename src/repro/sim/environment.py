@@ -53,8 +53,6 @@ class Process(Event):
         if target.processed:
             # Already fired: resume on the next scheduler pass.
             immediate = Event(self.env)
-            immediate._ok = target.ok
-            immediate._value = target.value
             immediate.succeed(target.value) if target.ok else immediate.fail(target.value)
             immediate.callbacks.append(self._resume)
         else:

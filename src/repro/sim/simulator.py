@@ -1,28 +1,60 @@
 """The end-to-end DDC simulator.
 
 :class:`DDCSimulator` wires a cluster, fabric, scheduler, and metrics
-collector together, then drives a VM trace through the discrete-event engine:
-one process per VM arrives at its trace time, is scheduled (or dropped), and
-— if placed — departs after its lifetime, releasing compute and network
+collector together, then drives a VM trace through a discrete-event engine:
+each VM arrives at its trace time, is scheduled (or dropped), and — if
+placed — departs after its lifetime, releasing compute and network
 resources.  Scheduler decision time is measured with ``perf_counter`` around
 the ``schedule()`` call only, which is the Figure 11/12 quantity.
+
+Two engines drive the same lifecycle:
+
+* ``engine="flat"`` (default) — the typed arrival/departure calendar in
+  :mod:`repro.sim.engine`: arrivals stream lazily from the trace, departures
+  sit on a heap, and schedule/drop/release run as direct calls.  O(active
+  VMs) engine state, no generator or callback overhead.
+* ``engine="generator"`` — the reference engine in
+  :mod:`repro.sim.environment`: one generator process per VM.  Kept for
+  cross-validation; the equivalence tests pin both engines to bit-identical
+  event streams and summaries.
+
+The default can be overridden process-wide with the ``REPRO_SIM_ENGINE``
+environment variable (used by the benchmark harness).
 """
 
 from __future__ import annotations
 
+import os
 import time as _time
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..config import ClusterSpec
 from ..errors import SimulationError
 from ..metrics import MetricsCollector, RunSummary, summarize
 from ..network import NetworkFabric
-from ..schedulers import Scheduler, create_scheduler
+from ..schedulers import Placement, Scheduler, create_scheduler
 from ..topology import Cluster, build_cluster
-from ..workloads import ResolvedRequest, VMRequest, resolve_all
+from ..workloads import ResolvedRequest, VMRequest, resolve_all, resolve_iter
+from .engine import FlatEngine
 from .environment import Environment
 from .event_log import EventLog
 from .results import SimulationResult
+
+#: Engine names accepted by :class:`DDCSimulator`.
+ENGINES: tuple[str, ...] = ("flat", "generator")
+
+#: Environment variable overriding the process-wide default engine.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+
+def default_engine() -> str:
+    """The engine used when none is requested explicitly."""
+    name = os.environ.get(ENGINE_ENV_VAR, "flat")
+    if name not in ENGINES:
+        raise SimulationError(
+            f"{ENGINE_ENV_VAR}={name!r} is not a known engine; choose from {ENGINES}"
+        )
+    return name
 
 
 class DDCSimulator:
@@ -35,6 +67,7 @@ class DDCSimulator:
         cluster: Cluster | None = None,
         fabric: NetworkFabric | None = None,
         event_log: EventLog | None = None,
+        engine: str | None = None,
     ) -> None:
         self.spec = spec
         self.cluster = cluster if cluster is not None else build_cluster(spec)
@@ -49,53 +82,130 @@ class DDCSimulator:
             self.scheduler = scheduler
         self.collector = MetricsCollector(spec, self.cluster, self.fabric)
         self.event_log = event_log
+        self.engine = default_engine() if engine is None else engine
+        if self.engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
 
     # ------------------------------------------------------------------ #
+    # Shared lifecycle handlers (the flat engine calls these directly;
+    # the generator engine reaches them through _vm_process)
+    # ------------------------------------------------------------------ #
 
-    def _vm_process(self, env: Environment, request: ResolvedRequest):
-        """Generator process: arrive, schedule-or-drop, dwell, release."""
-        yield env.timeout(request.vm.arrival)
+    def _handle_arrival(self, request: ResolvedRequest, now: float) -> Placement | None:
+        """Schedule-or-drop one arrival; returns the placement (None = drop)."""
         if self.event_log is not None:
-            self.event_log.record(env.now, "arrival", request.vm_id)
+            self.event_log.record(now, "arrival", request.vm_id)
         start = _time.perf_counter()
         placement = self.scheduler.schedule(request)
         self.collector.add_scheduler_time(_time.perf_counter() - start)
         if placement is None:
-            self.collector.record_drop(request, env.now)
+            self.collector.record_drop(request, now)
             if self.event_log is not None:
-                self.event_log.record(env.now, "drop", request.vm_id)
-            return
-        self.collector.record_assignment(placement, env.now)
+                self.event_log.record(now, "drop", request.vm_id)
+            return None
+        self.collector.record_assignment(placement, now)
         if self.event_log is not None:
             self.event_log.record(
-                env.now, "placement", request.vm_id,
+                now, "placement", request.vm_id,
                 racks=tuple(sorted(placement.racks)),
             )
-        yield env.timeout(request.vm.lifetime)
-        self.scheduler.release(placement)
-        self.collector.record_release(env.now)
-        if self.event_log is not None:
-            self.event_log.record(env.now, "departure", request.vm_id)
+        return placement
 
-    def run(self, vms: Iterable[VMRequest], until: float | None = None) -> SimulationResult:
-        """Run the trace to completion (or ``until``) and summarize."""
+    def _handle_departure(self, placement: Placement, now: float) -> None:
+        """Release one placed VM's compute and network resources."""
+        self.scheduler.release(placement)
+        self.collector.record_release(now)
+        if self.event_log is not None:
+            self.event_log.record(now, "departure", placement.vm_id)
+
+    # ------------------------------------------------------------------ #
+    # Engines
+    # ------------------------------------------------------------------ #
+
+    def _arrival_ordered(
+        self, vms: Iterable[VMRequest], stream: bool
+    ) -> Iterator[ResolvedRequest]:
+        """Lazily resolve the trace in arrival order.
+
+        Already-sorted inputs stream without copies; unsorted ones get one
+        stable sort (preserving trace order among equal arrivals — the
+        generator engine's tie rule).  With ``stream=True`` a non-sequence
+        iterable is consumed lazily as-is — the caller guarantees arrival
+        order (the flat engine raises otherwise) and resolution errors
+        surface at the offending arrival instead of up-front.
+        """
+        if not isinstance(vms, (list, tuple)):
+            if stream:
+                return resolve_iter(vms, self.spec)
+            vms = list(vms)
+        if any(vms[i].arrival > vms[i + 1].arrival for i in range(len(vms) - 1)):
+            vms = sorted(vms, key=lambda vm: vm.arrival)
+        return resolve_iter(vms, self.spec)
+
+    def _run_flat(
+        self, vms: Iterable[VMRequest], until: float | None, stream: bool
+    ) -> float:
+        engine = FlatEngine()
+        return engine.run(
+            self._arrival_ordered(vms, stream),
+            self._handle_arrival,
+            self._handle_departure,
+            until=until,
+        )
+
+    def _vm_process(self, env: Environment, request: ResolvedRequest):
+        """Generator process: arrive, schedule-or-drop, dwell, release."""
+        yield env.timeout(request.vm.arrival)
+        placement = self._handle_arrival(request, env.now)
+        if placement is None:
+            return
+        yield env.timeout(request.vm.lifetime)
+        self._handle_departure(placement, env.now)
+
+    def _run_generator(self, vms: Iterable[VMRequest], until: float | None) -> float:
         requests = resolve_all(list(vms), self.spec)
         env = Environment()
         for request in requests:
             env.process(self._vm_process(env, request))
         env.run(until=until)
+        return env.now
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        vms: Iterable[VMRequest],
+        until: float | None = None,
+        stream: bool = False,
+    ) -> SimulationResult:
+        """Run the trace to completion (or ``until``) and summarize.
+
+        Any iterable of requests is accepted in any order (unsorted traces
+        are sorted first).  ``stream=True`` (flat engine only) instead
+        consumes a lazily-produced, arrival-sorted iterable without ever
+        materializing it — O(active VMs) memory for arbitrarily long traces.
+        """
+        if self.engine == "flat":
+            end_time = self._run_flat(vms, until, stream)
+        else:
+            end_time = self._run_generator(vms, until)
         summary = summarize(self.scheduler.name, self.collector)
         return SimulationResult(
             scheduler=self.scheduler.name,
             spec=self.spec,
             summary=summary,
             records=tuple(self.collector.records),
-            end_time=env.now,
+            end_time=end_time,
         )
 
 
 def simulate(
-    spec: ClusterSpec, scheduler: str, vms: Iterable[VMRequest]
+    spec: ClusterSpec,
+    scheduler: str,
+    vms: Iterable[VMRequest],
+    engine: str | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper: fresh cluster, run, summarize."""
-    return DDCSimulator(spec, scheduler).run(vms)
+    return DDCSimulator(spec, scheduler, engine=engine).run(vms)

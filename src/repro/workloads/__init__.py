@@ -30,7 +30,7 @@ from .distributions import (
 )
 from .synthetic import SyntheticWorkloadParams, generate_synthetic
 from .trace_io import load_trace, save_trace, vm_from_dict, vm_to_dict
-from .vm import ResolvedRequest, VMRequest, resolve, resolve_all
+from .vm import ResolvedRequest, VMRequest, resolve, resolve_all, resolve_iter
 
 __all__ = [
     "AZURE_CPU_COUNTS",
@@ -58,6 +58,7 @@ __all__ = [
     "ram_histogram",
     "resolve",
     "resolve_all",
+    "resolve_iter",
     "sample_discrete",
     "save_trace",
     "synthesize_azure",

@@ -9,7 +9,7 @@ once, before scheduling, so the hot path never re-derives them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..config import ClusterSpec
 from ..errors import WorkloadError
@@ -92,3 +92,14 @@ def resolve(vm: VMRequest, spec: ClusterSpec) -> ResolvedRequest:
 def resolve_all(vms: Iterable[VMRequest], spec: ClusterSpec) -> list[ResolvedRequest]:
     """Resolve a whole trace, preserving order."""
     return [resolve(vm, spec) for vm in vms]
+
+
+def resolve_iter(vms: Iterable[VMRequest], spec: ClusterSpec) -> Iterator[ResolvedRequest]:
+    """Lazily resolve a trace, preserving order.
+
+    The streaming counterpart of :func:`resolve_all`: resolved requests are
+    produced one at a time, so an engine that consumes arrivals lazily (the
+    flat calendar) holds O(active VMs) resolved state instead of O(trace).
+    """
+    for vm in vms:
+        yield resolve(vm, spec)

@@ -1,0 +1,75 @@
+"""Tests for collector reset and cross-run summary aggregation."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.metrics import aggregate_summaries
+from repro.sim import DDCSimulator
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+from tests.conftest import make_vm
+
+
+class TestCollectorReset:
+    def test_reset_clears_all_accumulated_state(self):
+        spec = tiny_test()
+        sim = DDCSimulator(spec, "risa")
+        sim.run([make_vm(vm_id=0, cpu_cores=4, ram_gb=4.0, storage_gb=64.0)])
+        collector = sim.collector
+        assert collector.records and collector.scheduler_time_s > 0
+        collector.reset()
+        assert collector.records == []
+        assert collector.scheduler_time_s == 0.0
+        assert collector.first_arrival is None
+        assert collector.makespan == 0.0
+        assert collector.power.total_energy_j == 0.0
+        for gauge in collector.gauge_names():
+            assert collector.peak_utilization(gauge) == 0.0
+
+    def test_simulator_rerun_after_reset_matches_fresh_run(self):
+        # The sweep-worker reuse pattern: after a completed run every
+        # resource is back in the pool, so resetting the collector makes the
+        # same simulator replay the trace to an identical summary.
+        spec = tiny_test()
+        vms = generate_synthetic(SyntheticWorkloadParams(count=30), seed=0)
+        sim = DDCSimulator(spec, "risa")
+        first = sim.run(vms).summary.as_dict()
+        sim.collector.reset()
+        second = sim.run(vms).summary.as_dict()
+        first.pop("scheduler_time_s")
+        second.pop("scheduler_time_s")
+        assert first == second
+
+
+class TestAggregateSummaries:
+    def _summaries(self, seeds):
+        spec = tiny_test()
+        out = []
+        for seed in seeds:
+            vms = generate_synthetic(SyntheticWorkloadParams(count=25), seed=seed)
+            out.append(DDCSimulator(spec, "risa").run(vms).summary)
+        return out
+
+    def test_means_over_runs(self):
+        summaries = self._summaries((0, 1))
+        agg = aggregate_summaries(summaries)
+        assert agg["scheduler"] == "risa"
+        assert agg["runs"] == 2
+        assert agg["total_vms"] == 25.0
+        expected = (summaries[0].makespan + summaries[1].makespan) / 2
+        assert agg["makespan"] == pytest.approx(expected)
+
+    def test_single_run_is_identity(self):
+        (summary,) = self._summaries((0,))
+        agg = aggregate_summaries([summary])
+        assert agg["scheduled_vms"] == float(summary.scheduled_vms)
+
+    def test_mixed_schedulers_labelled(self):
+        spec = tiny_test()
+        vms = generate_synthetic(SyntheticWorkloadParams(count=25), seed=0)
+        a = DDCSimulator(spec, "risa").run(vms).summary
+        b = DDCSimulator(spec, "nulb").run(vms).summary
+        assert aggregate_summaries([a, b])["scheduler"] == "mixed"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_summaries([])

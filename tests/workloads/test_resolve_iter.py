@@ -1,0 +1,36 @@
+"""Tests for lazy trace resolution."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import resolve_all, resolve_iter
+from tests.conftest import make_vm
+
+
+class TestResolveIter:
+    def test_matches_resolve_all(self, paper_spec):
+        vms = [make_vm(vm_id=i, arrival=float(i)) for i in range(5)]
+        assert list(resolve_iter(vms, paper_spec)) == resolve_all(vms, paper_spec)
+
+    def test_is_lazy(self, paper_spec):
+        consumed = []
+
+        def trace():
+            for i in range(3):
+                consumed.append(i)
+                yield make_vm(vm_id=i, arrival=float(i))
+
+        it = resolve_iter(trace(), paper_spec)
+        assert consumed == []  # nothing touched until iteration
+        first = next(it)
+        assert first.vm_id == 0
+        assert consumed == [0, ]
+
+    def test_propagates_resolution_errors_lazily(self, paper_spec):
+        # An oversized VM only raises when its element is reached.
+        vms = [make_vm(vm_id=0),
+               make_vm(vm_id=1, ram_gb=1e9)]
+        it = resolve_iter(vms, paper_spec)
+        next(it)
+        with pytest.raises(WorkloadError):
+            next(it)
