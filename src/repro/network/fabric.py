@@ -16,13 +16,15 @@ utilization sampling is O(1) — the quantity plotted in Figure 8.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from ..config import ClusterSpec
 from ..errors import NetworkAllocationError, TopologyError
 from ..topology import Cluster
 from ..types import LinkTier
 from .bundle import LinkBundle, LinkSelectionPolicy
 from .circuit import Circuit
-from .link import Link
+from .link import BANDWIDTH_EPS, Link
 
 
 class NetworkFabric:
@@ -203,12 +205,66 @@ class NetworkFabric:
         return circuits
 
     def release(self, circuit: Circuit) -> None:
-        """Return a circuit's bandwidth on every hop."""
+        """Return a circuit's bandwidth on every hop.
+
+        Raises :class:`NetworkAllocationError` when a tier's reserved total
+        would go meaningfully negative — under-accounting there means a
+        double release (or a release of a never-committed circuit) and must
+        surface, not be clamped away.  Sub-epsilon negatives are float
+        residue from reserve/release cycles and are snapped back to zero.
+        All hops are validated *before* anything is freed, so a rejected
+        release leaves links and tier counters untouched and consistent.
+        """
+        demand = circuit.demand_gbps
+        pending = dict(self._tier_used)
         for link in circuit.links:
-            link.free(circuit.demand_gbps)
-            self._tier_used[link.tier] -= circuit.demand_gbps
-            if self._tier_used[link.tier] < 0:
-                self._tier_used[link.tier] = 0.0
+            if demand > link.used_gbps + BANDWIDTH_EPS:
+                raise NetworkAllocationError(
+                    f"link {link.link_id}: freeing {demand} Gb/s but only "
+                    f"{link.used_gbps} Gb/s reserved — circuit released twice?"
+                )
+            remaining = pending[link.tier] - demand
+            if remaining < -BANDWIDTH_EPS * max(1.0, self._tier_capacity[link.tier]):
+                raise NetworkAllocationError(
+                    f"{link.tier.value} tier accounting underflow: releasing "
+                    f"{demand} Gb/s leaves {remaining} Gb/s reserved — "
+                    "circuit released twice?"
+                )
+            pending[link.tier] = remaining if remaining > 0 else 0.0
+        for link in circuit.links:
+            link.free(demand)
+        self._tier_used = pending
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (what-if analysis and oversubscription rollback)
+    # ------------------------------------------------------------------ #
+
+    def _iter_links(self) -> Iterator[Link]:
+        """Every link in a deterministic order (box bundles, then rack)."""
+        for bundle in self._box_bundles.values():
+            yield from bundle.links
+        for bundle in self._rack_bundles.values():
+            yield from bundle.links
+
+    def snapshot(self) -> tuple[float, ...]:
+        """Capture per-link reserved bandwidth; restorable and comparable."""
+        return tuple(link.used_gbps for link in self._iter_links())
+
+    def restore(self, snap: tuple[float, ...]) -> None:
+        """Restore reserved bandwidth captured by :meth:`snapshot`.
+
+        Each link is rewritten through its public occupancy API, so bundle
+        aggregates and free-link indexes rebuild as a side effect; the
+        per-tier totals are then recomputed from the restored links.
+        """
+        links = list(self._iter_links())
+        if len(snap) != len(links):
+            raise TopologyError("snapshot shape does not match fabric")
+        for link, used in zip(links, snap):
+            link.set_used(used)
+        self._tier_used = {LinkTier.INTRA_RACK: 0.0, LinkTier.INTER_RACK: 0.0}
+        for link in links:
+            self._tier_used[link.tier] += link.used_gbps
 
     # ------------------------------------------------------------------ #
     # Utilization (Figure 8 quantities)

@@ -3,9 +3,14 @@
 Each link models one SiP module pair: 200 Gb/s of circuit-switched capacity
 (Section 3.1).  Bandwidth is reserved per VM flow and returned on departure;
 a small epsilon absorbs float rounding in repeated reserve/release cycles.
+Every used-bandwidth mutation reports its delta to an optional listener —
+the hook :class:`~repro.network.bundle.LinkBundle` uses to keep its
+aggregates and free-link index incremental.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from ..errors import NetworkAllocationError
 from ..types import LinkTier
@@ -17,7 +22,7 @@ BANDWIDTH_EPS = 1e-9
 class Link:
     """A single optical link between two switches."""
 
-    __slots__ = ("link_id", "tier", "capacity_gbps", "used_gbps", "a", "b")
+    __slots__ = ("link_id", "tier", "capacity_gbps", "used_gbps", "a", "b", "_on_change")
 
     def __init__(
         self, link_id: int, tier: LinkTier, capacity_gbps: float, a: str, b: str
@@ -32,6 +37,15 @@ class Link:
         self.used_gbps = 0.0
         self.a = a
         self.b = b
+        self._on_change: Callable[["Link", float], None] | None = None
+
+    def bind_listener(self, on_change: Callable[["Link", float], None] | None) -> None:
+        """Attach the used-bandwidth listener (bundle wiring).
+
+        The listener receives ``(link, delta_used_gbps)`` after every
+        reserve/free/:meth:`set_used`.
+        """
+        self._on_change = on_change
 
     @property
     def avail_gbps(self) -> float:
@@ -52,7 +66,10 @@ class Link:
                 f"link {self.link_id}: demand {demand_gbps} Gb/s exceeds "
                 f"available {self.avail_gbps} Gb/s"
             )
-        self.used_gbps = min(self.capacity_gbps, self.used_gbps + demand_gbps)
+        old = self.used_gbps
+        self.used_gbps = min(self.capacity_gbps, old + demand_gbps)
+        if self._on_change is not None:
+            self._on_change(self, self.used_gbps - old)
 
     def free(self, demand_gbps: float) -> None:
         """Return previously reserved bandwidth."""
@@ -63,7 +80,22 @@ class Link:
                 f"link {self.link_id}: freeing {demand_gbps} Gb/s but only "
                 f"{self.used_gbps} Gb/s reserved"
             )
-        self.used_gbps = max(0.0, self.used_gbps - demand_gbps)
+        old = self.used_gbps
+        self.used_gbps = max(0.0, old - demand_gbps)
+        if self._on_change is not None:
+            self._on_change(self, self.used_gbps - old)
+
+    def set_used(self, used_gbps: float) -> None:
+        """Overwrite reserved bandwidth wholesale (snapshot-restore path)."""
+        if used_gbps < 0 or used_gbps > self.capacity_gbps + BANDWIDTH_EPS:
+            raise NetworkAllocationError(
+                f"link {self.link_id}: occupancy {used_gbps} Gb/s outside "
+                f"[0, {self.capacity_gbps}] Gb/s"
+            )
+        old = self.used_gbps
+        self.used_gbps = min(self.capacity_gbps, used_gbps)
+        if self._on_change is not None and self.used_gbps != old:
+            self._on_change(self, self.used_gbps - old)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

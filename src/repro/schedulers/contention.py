@@ -33,12 +33,23 @@ def contention_ratios(cluster: Cluster, units: ResourceVector) -> dict[ResourceT
 
 
 def most_contended(cluster: Cluster, units: ResourceVector) -> ResourceType:
-    """The resource type with the highest CR (ties -> RESOURCE_ORDER)."""
-    ratios = contention_ratios(cluster, units)
+    """The resource type with the highest CR (ties -> RESOURCE_ORDER).
+
+    The denominators come straight from the cluster's O(1) availability
+    counters — nothing is recomputed over boxes — and the ratios are folded
+    inline (no per-call dict or helper dispatch) since this runs once per
+    scheduled VM on every scheduler's hot path.
+    """
     best = RESOURCE_ORDER[0]
-    best_ratio = ratios[best]
-    for rtype in RESOURCE_ORDER[1:]:
-        if ratios[rtype] > best_ratio:
+    best_ratio = -1.0
+    for rtype in RESOURCE_ORDER:
+        required = units.get(rtype)
+        if required <= 0:
+            ratio = 0.0
+        else:
+            avail = cluster.total_avail(rtype)
+            ratio = required / avail if avail > 0 else math.inf
+        if ratio > best_ratio:
             best = rtype
-            best_ratio = ratios[rtype]
+            best_ratio = ratio
     return best

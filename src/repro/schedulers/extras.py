@@ -72,6 +72,9 @@ class BestFitGlobalScheduler(_GlobalBoxScheduler):
     name = "best_fit_global"
 
     def _pick(self, rtype: ResourceType, units: int) -> Box | None:
+        index = self.cluster.capacity_index
+        if index is not None:
+            return index.best_fit(rtype, units)
         best: Box | None = None
         for box in self.cluster.boxes(rtype):
             if box.can_fit(units) and (best is None or box.avail_units < best.avail_units):
@@ -85,6 +88,9 @@ class WorstFitGlobalScheduler(_GlobalBoxScheduler):
     name = "worst_fit_global"
 
     def _pick(self, rtype: ResourceType, units: int) -> Box | None:
+        index = self.cluster.capacity_index
+        if index is not None:
+            return index.worst_fit(rtype, units)
         best: Box | None = None
         for box in self.cluster.boxes(rtype):
             if box.can_fit(units) and (best is None or box.avail_units > best.avail_units):
@@ -108,7 +114,13 @@ class RandomScheduler(_GlobalBoxScheduler):
         self._rng = np.random.default_rng(seed)
 
     def _pick(self, rtype: ResourceType, units: int) -> Box | None:
-        feasible = [b for b in self.cluster.boxes(rtype) if b.can_fit(units)]
+        index = self.cluster.capacity_index
+        if index is not None:
+            # Same boxes in the same (global) order as the naive filter, so
+            # the seeded draw lands on the same box in either mode.
+            feasible = index.fitting_boxes(rtype, units)
+        else:
+            feasible = [b for b in self.cluster.boxes(rtype) if b.can_fit(units)]
         if not feasible:
             return None
         return feasible[int(self._rng.integers(len(feasible)))]

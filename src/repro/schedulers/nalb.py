@@ -12,8 +12,13 @@ NALB extends NULB in two ways (Section 4.1):
    on every hop rather than the first that fits.
 
 Both steps sort, which is exactly why NALB is the slowest algorithm in the
-paper's Figures 11-12; the sorting here is intentionally kept (it *is* the
-algorithm), not optimized away.
+paper's Figures 11-12; the sorting *semantics* are intentionally kept (they
+*are* the algorithm).  With the capacity index active the cluster-wide sort
+is realized lazily: racks are visited in the BFS tier order and skipped
+outright via O(log n) max-avail checks, and only the first rack containing a
+fitting box sorts its (few) candidates — the chosen box is provably the one
+the full sort-then-scan would pick, which the cross-mode equivalence tests
+pin bit-for-bit.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..network import LinkSelectionPolicy
-from ..topology import Box
+from ..topology import Box, CapacityIndex
 from ..types import ResourceType
 from .nulb import NULBScheduler
 
@@ -39,6 +44,52 @@ class NALBScheduler(NULBScheduler):
     def _rack_bandwidth_key(self, rack_index: int) -> float:
         """Available bandwidth on the rack's uplink bundle (sort key)."""
         return self.fabric.rack_bundle(rack_index).avail_gbps
+
+    def _best_bandwidth_box(
+        self, index: CapacityIndex, rtype: ResourceType, units: int, rack_index: int
+    ) -> Box | None:
+        """The box a bandwidth-sorted first-fit scan of one rack would pick:
+        among the rack's fitting boxes, the minimum of ``_box_sort_key``."""
+        fitting = index.fitting_boxes_in_rack(rtype, units, rack_index)
+        if not fitting:
+            return None
+        return min(fitting, key=self._box_sort_key)
+
+    def _neighbor_box(
+        self,
+        rtype: ResourceType,
+        units: int,
+        home_rack: int,
+        rack_filter: frozenset[int] | None,
+    ) -> Box | None:
+        index = self.cluster.capacity_index
+        if index is None:
+            return super()._neighbor_box(rtype, units, home_rack, rack_filter)
+        if not self.rack_affinity:
+            # One BFS depth tier per rack, in rack index order; the first
+            # rack with any fitting box wins, bandwidth-sorted within it.
+            for rack in self.cluster.racks:
+                if rack_filter is not None and rack.index not in rack_filter:
+                    continue
+                box = self._best_bandwidth_box(index, rtype, units, rack.index)
+                if box is not None:
+                    return box
+            return None
+        box = self._best_bandwidth_box(index, rtype, units, home_rack)
+        if box is not None:
+            return box
+        remote_racks = [
+            rack.index
+            for rack in self.cluster.racks
+            if rack.index != home_rack
+            and (rack_filter is None or rack.index in rack_filter)
+        ]
+        remote_racks.sort(key=self._rack_bandwidth_key, reverse=True)
+        for rack_index in remote_racks:
+            box = self._best_bandwidth_box(index, rtype, units, rack_index)
+            if box is not None:
+                return box
+        return None
 
     def _neighbor_candidates(
         self,

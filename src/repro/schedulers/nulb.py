@@ -83,6 +83,43 @@ class NULBScheduler(Scheduler):
         return None
 
     # ------------------------------------------------------------------ #
+    # Box search (indexed fast path with the naive scans as fallback)
+    # ------------------------------------------------------------------ #
+
+    def _scarce_box(
+        self, rtype: ResourceType, units: int, rack_filter: frozenset[int] | None
+    ) -> Box | None:
+        """The scarce slice's box: global (or filtered) first-fit frontier."""
+        index = self.cluster.capacity_index
+        if index is None:
+            return self._first_fit(self._scarce_candidates(rtype, rack_filter), units)
+        return index.first_fit_in_racks(rtype, units, rack_filter)
+
+    def _neighbor_box(
+        self,
+        rtype: ResourceType,
+        units: int,
+        home_rack: int,
+        rack_filter: frozenset[int] | None,
+    ) -> Box | None:
+        """A non-scarce slice's box, honoring the ``rack_affinity`` mode."""
+        index = self.cluster.capacity_index
+        if index is None:
+            return self._first_fit(
+                self._neighbor_candidates(rtype, home_rack, rack_filter), units
+            )
+        if not self.rack_affinity:
+            return index.first_fit_in_racks(rtype, units, rack_filter)
+        # Text-faithful BFS: the scarce slice's rack first (unfiltered, as in
+        # the naive candidate order), then the global frontier without it.
+        box = index.first_fit_in_rack(rtype, units, home_rack)
+        if box is not None:
+            return box
+        return index.first_fit_in_racks(
+            rtype, units, rack_filter, exclude_rack=home_rack
+        )
+
+    # ------------------------------------------------------------------ #
     # Core allocation (shared with RISA's fallback)
     # ------------------------------------------------------------------ #
 
@@ -101,9 +138,7 @@ class NULBScheduler(Scheduler):
                 return None
             return rack_filter.get(rtype)
 
-        scarce_box = self._first_fit(
-            self._scarce_candidates(scarce, filter_for(scarce)), units.get(scarce)
-        )
+        scarce_box = self._scarce_box(scarce, units.get(scarce), filter_for(scarce))
         if scarce_box is None:
             return None
         home_rack = scarce_box.rack_index
@@ -115,10 +150,7 @@ class NULBScheduler(Scheduler):
             needed = units.get(rtype)
             if needed == 0:
                 continue
-            box = self._first_fit(
-                self._neighbor_candidates(rtype, home_rack, filter_for(rtype)),
-                needed,
-            )
+            box = self._neighbor_box(rtype, needed, home_rack, filter_for(rtype))
             if box is None:
                 return None
             chosen[rtype] = box

@@ -46,10 +46,18 @@ class RISAScheduler(Scheduler):
         """Choose a box of ``rtype`` in ``rack`` for ``units``.
 
         First-fit in index order for RISA; best-fit (smallest sufficient
-        availability, Algorithm 3's ascending sort) for RISA-BF.
+        availability, Algorithm 3's ascending sort) for RISA-BF.  Both are
+        single O(log n) range queries against the capacity index when it is
+        active; the naive scans below are the ``REPRO_PLACEMENT_INDEX=naive``
+        reference.
         """
         if units == 0:
             return None
+        index = self.cluster.capacity_index
+        if index is not None:
+            if self.best_fit:
+                return index.best_fit_in_rack(rtype, units, rack.index)
+            return index.first_fit_in_rack(rtype, units, rack.index)
         boxes = rack.boxes(rtype)
         if not self.best_fit:
             for box in boxes:

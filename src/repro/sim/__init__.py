@@ -8,7 +8,7 @@ from .event_log import EventLog, SimEvent
 from .events import Event, Timeout
 from .resources import SimResource, SimStore
 from .results import SimulationResult
-from .simulator import ENGINES, DDCSimulator, default_engine, simulate
+from .simulator import ENGINES, DDCSimulator, SimCheckpoint, default_engine, simulate
 
 __all__ = [
     "AllOf",
@@ -26,5 +26,6 @@ __all__ = [
     "SimulationResult",
     "Timeout",
     "default_engine",
+    "SimCheckpoint",
     "simulate",
 ]

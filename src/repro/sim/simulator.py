@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import time as _time
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..config import ClusterSpec
@@ -45,6 +46,20 @@ ENGINES: tuple[str, ...] = ("flat", "generator")
 
 #: Environment variable overriding the process-wide default engine.
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+
+@dataclass(frozen=True, slots=True)
+class SimCheckpoint:
+    """Resource-state checkpoint of a simulator (compute + network).
+
+    Captures per-box brick occupancy and per-link reserved bandwidth — the
+    state an oversubscribed what-if run mutates.  It deliberately excludes
+    metrics, the event log, and scheduler cursors: a rollback rewinds the
+    *cluster*, not the experiment record.
+    """
+
+    cluster: tuple[tuple[int, ...], ...]
+    fabric: tuple[float, ...]
 
 
 def default_engine() -> str:
@@ -87,6 +102,28 @@ class DDCSimulator:
             raise SimulationError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
+
+    # ------------------------------------------------------------------ #
+    # What-if checkpointing (oversubscription rollback)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> SimCheckpoint:
+        """Capture current compute and network occupancy."""
+        return SimCheckpoint(
+            cluster=self.cluster.snapshot(), fabric=self.fabric.snapshot()
+        )
+
+    def rollback(self, checkpoint: SimCheckpoint) -> None:
+        """Rewind compute and network occupancy to a prior checkpoint.
+
+        Both restores run through the public occupancy APIs, whose change
+        listeners keep every derived structure — cluster totals, rack
+        caches, the capacity index, bundle aggregates and free-link
+        indexes, tier counters — consistent with the rewound occupancy;
+        an oversubscribed trial run leaves no trace.
+        """
+        self.cluster.restore(checkpoint.cluster)
+        self.fabric.restore(checkpoint.fabric)
 
     # ------------------------------------------------------------------ #
     # Shared lifecycle handlers (the flat engine calls these directly;

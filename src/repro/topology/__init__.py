@@ -8,6 +8,15 @@ quantization) with conservation enforced at every level.
 from .box import Box, BoxAllocation
 from .brick import Brick
 from .builder import build_cluster, prime_availability
+from .capacity_index import (
+    PLACEMENT_INDEX_ENV,
+    PLACEMENT_MODES,
+    CapacityIndex,
+    MaxSegmentTree,
+    index_enabled,
+    placement_index_mode,
+    placement_mode,
+)
 from .cluster import Cluster
 from .defrag import Migration, MigrationPlan, apply_plan, plan_rack_defrag
 from .rack import Rack
@@ -16,10 +25,17 @@ __all__ = [
     "Box",
     "BoxAllocation",
     "Brick",
+    "CapacityIndex",
     "Cluster",
+    "MaxSegmentTree",
     "Migration",
     "MigrationPlan",
+    "PLACEMENT_INDEX_ENV",
+    "PLACEMENT_MODES",
     "apply_plan",
+    "index_enabled",
+    "placement_index_mode",
+    "placement_mode",
     "plan_rack_defrag",
     "Rack",
     "build_cluster",

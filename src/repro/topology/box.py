@@ -81,6 +81,17 @@ class Box:
 
     # ------------------------------------------------------------------ #
 
+    def bind_listener(self, on_change: Callable[["Box", int], None] | None) -> None:
+        """Attach the availability-change listener (cluster wiring).
+
+        The listener receives ``(box, delta)`` with positive deltas for
+        releases and negative for allocations; every occupancy mutation on
+        this box — allocate, release, or :meth:`set_occupancy` — reports
+        through it, which is what keeps the cluster totals, rack caches, and
+        the capacity index coherent.
+        """
+        self._on_change = on_change
+
     @property
     def avail_units(self) -> int:
         """Units currently free in this box."""
@@ -142,6 +153,32 @@ class Box:
         self.used_units -= allocation.units
         if self._on_change is not None:
             self._on_change(self, allocation.units)
+
+    def set_occupancy(self, brick_used: tuple[int, ...] | list[int]) -> None:
+        """Overwrite per-brick occupancy wholesale (snapshot-restore path).
+
+        Unlike poking ``brick.used_units`` directly, this validates the new
+        occupancy and fires the change listener with the net delta, so rack
+        caches, cluster totals, and the capacity index cannot be bypassed.
+        """
+        if len(brick_used) != len(self.bricks):
+            raise CapacityError(
+                f"box {self.box_id}: occupancy has {len(brick_used)} entries "
+                f"for {len(self.bricks)} bricks"
+            )
+        for brick, used in zip(self.bricks, brick_used):
+            if used < 0 or used > brick.capacity_units:
+                raise CapacityError(
+                    f"box {self.box_id} brick {brick.index}: occupancy {used} "
+                    f"outside [0, {brick.capacity_units}]"
+                )
+        old_used = self.used_units
+        for brick, used in zip(self.bricks, brick_used):
+            brick.used_units = used
+        self.used_units = sum(brick_used)
+        delta = old_used - self.used_units
+        if delta != 0 and self._on_change is not None:
+            self._on_change(self, delta)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -62,7 +62,7 @@ def build_cluster(spec: ClusterSpec) -> Cluster:
                 rack.attach_box(box)
     Cluster.__init__(cluster, racks)
     for box in cluster.all_boxes():
-        box._on_change = cluster.on_box_change
+        box.bind_listener(cluster.on_box_change)
     return cluster
 
 

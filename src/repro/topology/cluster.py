@@ -8,16 +8,24 @@ searches.
 
 from __future__ import annotations
 
-from ..errors import TopologyError
+from ..errors import CapacityError, TopologyError
 from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
 from .box import Box
+from .capacity_index import CapacityIndex, index_enabled
 from .rack import Rack
 
 
 class Cluster:
     """A built DDC cluster (use :func:`repro.topology.builder.build_cluster`)."""
 
-    __slots__ = ("racks", "_boxes_by_type", "_box_by_id", "_total_avail", "_total_capacity")
+    __slots__ = (
+        "racks",
+        "_boxes_by_type",
+        "_box_by_id",
+        "_total_avail",
+        "_total_capacity",
+        "_capacity_index",
+    )
 
     def __init__(self, racks: list[Rack]) -> None:
         self.racks = racks
@@ -31,6 +39,9 @@ class Cluster:
             for rtype in RESOURCE_ORDER:
                 for box in rack.boxes(rtype):
                     self._register_box(box)
+        self._capacity_index = CapacityIndex(self) if index_enabled() else None
+        for rack in racks:
+            rack.bind_capacity_index(self._capacity_index)
 
     def _register_box(self, box: Box) -> None:
         if box.box_id in self._box_by_id:
@@ -48,6 +59,12 @@ class Cluster:
     def num_racks(self) -> int:
         """Number of racks in the cluster."""
         return len(self.racks)
+
+    @property
+    def capacity_index(self) -> CapacityIndex | None:
+        """The O(log n) placement index, or None in naive mode
+        (``REPRO_PLACEMENT_INDEX=naive``)."""
+        return self._capacity_index
 
     def rack(self, index: int) -> Rack:
         """Rack by index."""
@@ -99,10 +116,30 @@ class Cluster:
     # ------------------------------------------------------------------ #
 
     def on_box_change(self, box: Box, delta: int) -> None:
-        """Box availability changed by ``delta``; update cluster totals and
-        forward to the owning rack's cache."""
+        """Box availability changed by ``delta``; update cluster totals, the
+        capacity index, and the owning rack's cache."""
         self._total_avail[box.rtype] += delta
+        if self._capacity_index is not None:
+            self._capacity_index.update_box(box)
         self.racks[box.rack_index].on_box_change(box, delta)
+
+    def rebuild_caches(self) -> None:
+        """Recompute every derived structure — cluster totals, rack caches,
+        and the capacity index — from live box/brick state in O(n).
+
+        The incremental paths (``on_box_change``, which :meth:`restore` also
+        drives through the public Box API) keep everything coherent on their
+        own; this is a defensive bulk lever for external callers that mutate
+        bricks directly, and the invariant check the property tests lean on.
+        """
+        for rtype in RESOURCE_ORDER:
+            self._total_avail[rtype] = sum(
+                b.avail_units for b in self._boxes_by_type[rtype]
+            )
+        for rack in self.racks:
+            rack.rebuild_cache()
+        if self._capacity_index is not None:
+            self._capacity_index.rebuild()
 
     # ------------------------------------------------------------------ #
     # Snapshots (what-if analysis and test invariants)
@@ -117,23 +154,18 @@ class Cluster:
 
     def restore(self, snap: tuple[tuple[int, ...], ...]) -> None:
         """Restore occupancy captured by :meth:`snapshot`, rebuilding all
-        cached aggregates."""
+        cached aggregates (including the capacity index)."""
         ids = sorted(self._box_by_id)
         if len(snap) != len(ids):
             raise TopologyError("snapshot shape does not match cluster")
         for bid, brick_used in zip(ids, snap):
-            box = self._box_by_id[bid]
-            if len(brick_used) != len(box.bricks):
-                raise TopologyError(f"snapshot shape mismatch for box {bid}")
-            old_used = box.used_units
-            for brick, used in zip(box.bricks, brick_used):
-                if used < 0 or used > brick.capacity_units:
-                    raise TopologyError("snapshot value out of range")
-                brick.used_units = used
-            box.used_units = sum(brick_used)
-            delta = old_used - box.used_units
-            if delta != 0 and box._on_change is not None:
-                box._on_change(box, delta)
+            # The public occupancy API validates shape/range and notifies the
+            # change listener, so the cluster totals, rack caches, and
+            # capacity index all follow.
+            try:
+                self._box_by_id[bid].set_occupancy(brick_used)
+            except CapacityError as exc:
+                raise TopologyError(f"snapshot invalid for box {bid}: {exc}") from exc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(

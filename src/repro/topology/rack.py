@@ -1,22 +1,29 @@
-"""Racks — groups of single-resource boxes with cached per-type maxima.
+"""Racks — groups of single-resource boxes with per-type max-avail queries.
 
 RISA's INTRA_RACK_POOL test needs, for every rack, "the boxes with the
-maximum amount of each resource" (Section 4.2).  :class:`Rack` maintains that
-maximum incrementally so the pool scan is O(#racks), matching the paper's
-description of RISA's bookkeeping.
+maximum amount of each resource" (Section 4.2).  When the cluster's
+:class:`~repro.topology.capacity_index.CapacityIndex` is active the maxima
+are answered by its per-rack range queries; otherwise (naive mode, or a rack
+not yet attached to a cluster) :class:`Rack` maintains them incrementally,
+matching the paper's description of RISA's bookkeeping.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..errors import TopologyError
 from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
 from .box import Box
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .capacity_index import CapacityIndex
+
 
 class Rack:
-    """A rack: per-type box lists plus cached availability aggregates."""
+    """A rack: per-type box lists plus availability aggregates."""
 
-    __slots__ = ("index", "_boxes_by_type", "_max_avail", "_total_avail")
+    __slots__ = ("index", "_boxes_by_type", "_max_avail", "_total_avail", "_capacity_index")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -25,6 +32,7 @@ class Rack:
         }
         self._max_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
         self._total_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
+        self._capacity_index: "CapacityIndex" | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -40,6 +48,18 @@ class Rack:
         self._boxes_by_type[box.rtype].append(box)
         self._max_avail[box.rtype] = max(self._max_avail[box.rtype], box.avail_units)
         self._total_avail[box.rtype] += box.avail_units
+
+    def bind_capacity_index(self, index: "CapacityIndex" | None) -> None:
+        """Route max-avail queries through the cluster's capacity index.
+
+        Called by the cluster after construction; ``None`` returns to the
+        incremental per-rack cache, which is rebuilt here — while an index
+        is bound ``on_box_change`` skips max maintenance, so the cache
+        would otherwise be stale.
+        """
+        self._capacity_index = index
+        if index is None:
+            self.rebuild_cache()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -57,16 +77,26 @@ class Rack:
         return out
 
     def max_avail(self, rtype: ResourceType) -> int:
-        """Largest single-box availability of ``rtype`` (cached, O(1))."""
+        """Largest single-box availability of ``rtype`` in this rack."""
+        if self._capacity_index is not None:
+            return self._capacity_index.rack_max_avail(rtype, self.index)
         return self._max_avail[rtype]
 
     def total_avail(self, rtype: ResourceType) -> int:
-        """Summed availability of ``rtype`` across the rack's boxes."""
+        """Summed availability of ``rtype`` across the rack's boxes (O(1))."""
         return self._total_avail[rtype]
 
     def can_host(self, request: ResourceVector) -> bool:
         """True when *one box per type* in this rack can hold the whole VM —
         the INTRA_RACK_POOL membership test (Section 4.2)."""
+        index = self._capacity_index
+        if index is not None:
+            return (
+                request.cpu <= index.rack_max_avail(ResourceType.CPU, self.index)
+                and request.ram <= index.rack_max_avail(ResourceType.RAM, self.index)
+                and request.storage
+                <= index.rack_max_avail(ResourceType.STORAGE, self.index)
+            )
         return (
             request.cpu <= self._max_avail[ResourceType.CPU]
             and request.ram <= self._max_avail[ResourceType.RAM]
@@ -76,7 +106,7 @@ class Rack:
     def has_box_for(self, rtype: ResourceType, units: int) -> bool:
         """True when some box of ``rtype`` here can hold ``units`` — the
         SUPER_RACK membership test for one resource type."""
-        return units <= self._max_avail[rtype]
+        return units <= self.max_avail(rtype)
 
     # ------------------------------------------------------------------ #
     # Cache maintenance (called by Box on_change)
@@ -87,6 +117,8 @@ class Rack:
         ``delta`` units (positive = release, negative = allocate)."""
         rtype = box.rtype
         self._total_avail[rtype] += delta
+        if self._capacity_index is not None:
+            return  # maxima come from the index; no per-rack bookkeeping
         if delta > 0:
             # Release can only raise the max.
             if box.avail_units > self._max_avail[rtype]:
@@ -97,6 +129,13 @@ class Rack:
             self._max_avail[rtype] = max(
                 (b.avail_units for b in self._boxes_by_type[rtype]), default=0
             )
+
+    def rebuild_cache(self) -> None:
+        """Recompute both aggregates from live box state (bulk-restore path)."""
+        for rtype in RESOURCE_ORDER:
+            boxes = self._boxes_by_type[rtype]
+            self._total_avail[rtype] = sum(b.avail_units for b in boxes)
+            self._max_avail[rtype] = max((b.avail_units for b in boxes), default=0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
