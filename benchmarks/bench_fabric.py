@@ -1,0 +1,152 @@
+"""Fabric gate: N-tier generality must not tax the two-tier fast path.
+
+The tier-generic route resolver replaced the hard-coded two-tier paths, so
+this benchmark pins its overhead: per-hop cost of (a) pure path resolution
+and (b) full circuit allocate+release cycles is measured on the paper's
+two-tier fabric and on the 3-tier pod/spine preset.  A 3-tier path is
+simply *longer* (up to 6 hops vs 4), so costs are normalized per hop; the
+multi-tier per-hop cost must stay within ``MAX_TIER_OVERHEAD`` (1.15x) of
+the two-tier fast path for both operations.
+
+Results are also recorded through pytest-benchmark so CI uploads them as a
+JSON artifact (``bench-fabric.json``).
+"""
+
+import time
+
+import pytest
+
+from repro.config import paper_default, pod_scale
+from repro.network import NetworkFabric
+from repro.topology import build_cluster
+from repro.types import ResourceType
+
+from conftest import bench_quick
+
+#: Acceptance ceiling for per-hop multi-tier cost over the two-tier path.
+MAX_TIER_OVERHEAD = 1.15
+
+PAIR_COUNT = 400
+ROUNDS = 3 if bench_quick() else 6
+RESOLVE_ITERS = 20 if bench_quick() else 60
+CYCLE_ITERS = 10 if bench_quick() else 30
+
+
+def build_fabric(spec):
+    cluster = build_cluster(spec)
+    return cluster, NetworkFabric(spec, cluster)
+
+
+def flow_pairs(cluster, count=PAIR_COUNT):
+    """A deterministic mix of intra-rack, cross-rack (and cross-pod) flows."""
+    cpu = cluster.boxes(ResourceType.CPU)
+    ram = cluster.boxes(ResourceType.RAM)
+    return [
+        (cpu[i % len(cpu)].box_id, ram[(i * 7 + i // 3) % len(ram)].box_id)
+        for i in range(count)
+    ]
+
+
+def resolve_sweep_s(fabric, pairs, iters):
+    """Seconds for ``iters`` sweeps of path resolution."""
+    resolve = fabric.resolve_path
+    start = time.perf_counter()
+    for _ in range(iters):
+        for a, b in pairs:
+            resolve(a, b)
+    return time.perf_counter() - start
+
+
+def cycle_sweep_s(fabric, pairs, iters):
+    """Seconds for ``iters`` allocate+release sweeps."""
+    start = time.perf_counter()
+    for _ in range(iters):
+        circuits = [fabric.allocate_flow(a, b, 1.0) for a, b in pairs]
+        for circuit in circuits:
+            fabric.release(circuit)
+    elapsed = time.perf_counter() - start
+    assert all(fabric.tier_used_gbps(t) == 0.0 for t in fabric.tiers)
+    return elapsed
+
+
+def hop_count(fabric, pairs):
+    return sum(len(fabric.resolve_path(a, b).bundles) for a, b in pairs)
+
+
+def measure_all(specs):
+    """Best-of-rounds per-hop costs, rounds interleaved across topologies.
+
+    Interleaving means slow drift on a shared CI runner (thermal throttle,
+    noisy neighbors) hits every topology's rounds alike instead of biasing
+    whichever happened to run last.
+    """
+    envs = {}
+    for name, spec in specs.items():
+        cluster, fabric = build_fabric(spec)
+        pairs = flow_pairs(cluster)
+        envs[name] = (fabric, pairs, hop_count(fabric, pairs))
+    resolve_best = {name: float("inf") for name in envs}
+    cycle_best = {name: float("inf") for name in envs}
+    for _ in range(ROUNDS):
+        for name, (fabric, pairs, _) in envs.items():
+            resolve_best[name] = min(
+                resolve_best[name], resolve_sweep_s(fabric, pairs, RESOLVE_ITERS)
+            )
+        for name, (fabric, pairs, _) in envs.items():
+            cycle_best[name] = min(
+                cycle_best[name], cycle_sweep_s(fabric, pairs, CYCLE_ITERS)
+            )
+    return {
+        name: {
+            "hops": hops,
+            "resolve_ns_per_hop": resolve_best[name] / (RESOLVE_ITERS * hops) * 1e9,
+            "cycle_ns_per_hop": cycle_best[name] / (CYCLE_ITERS * hops) * 1e9,
+        }
+        for name, (_, _, hops) in envs.items()
+    }
+
+
+def test_multitier_overhead_gate(benchmark):
+    def run():
+        return measure_all(
+            {
+                "two_tier": paper_default(),
+                "three_tier": pod_scale(num_pods=4, racks_per_pod=9),
+            }
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    two, three = results["two_tier"], results["three_tier"]
+    resolve_ratio = three["resolve_ns_per_hop"] / two["resolve_ns_per_hop"]
+    cycle_ratio = three["cycle_ns_per_hop"] / two["cycle_ns_per_hop"]
+    print()
+    print(f"two-tier:   resolve {two['resolve_ns_per_hop']:7.1f} ns/hop, "
+          f"alloc+release {two['cycle_ns_per_hop']:7.1f} ns/hop "
+          f"({two['hops']} hops/sweep)")
+    print(f"three-tier: resolve {three['resolve_ns_per_hop']:7.1f} ns/hop, "
+          f"alloc+release {three['cycle_ns_per_hop']:7.1f} ns/hop "
+          f"({three['hops']} hops/sweep)")
+    print(f"ratios: resolve {resolve_ratio:.3f}x, cycle {cycle_ratio:.3f}x "
+          f"(gate: <= {MAX_TIER_OVERHEAD}x)")
+    assert resolve_ratio <= MAX_TIER_OVERHEAD, (
+        f"3-tier path resolution {resolve_ratio:.3f}x per hop exceeds "
+        f"{MAX_TIER_OVERHEAD}x of the two-tier fast path"
+    )
+    assert cycle_ratio <= MAX_TIER_OVERHEAD, (
+        f"3-tier allocate/release {cycle_ratio:.3f}x per hop exceeds "
+        f"{MAX_TIER_OVERHEAD}x of the two-tier fast path"
+    )
+
+
+def test_path_resolution_correct_shapes():
+    """Sanity: the benchmark's pair mix really exercises every depth."""
+    cluster, fabric = build_fabric(pod_scale(num_pods=4, racks_per_pod=9))
+    depths = {fabric.resolve_path(a, b).lca_level for a, b in flow_pairs(cluster)}
+    assert depths == {1, 2, 3}
+    cluster, fabric = build_fabric(paper_default())
+    depths = {fabric.resolve_path(a, b).lca_level for a, b in flow_pairs(cluster)}
+    assert depths == {1, 2}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q", "-s"])

@@ -15,6 +15,8 @@ Subcommands
                    and write the JSONL trace (printing its digest).
 ``stats``        — multi-seed comparison with bootstrap confidence
                    intervals.
+``topology``     — print the fabric tier tree (bundle counts, capacity,
+                   oversubscription) of a named preset.
 """
 
 from __future__ import annotations
@@ -24,9 +26,12 @@ import sys
 from typing import Sequence
 
 from ..analysis import compare_schedulers, compare_over_seeds, occupancy_table, placement_map, stats_table
+from ..analysis.ascii_plot import ascii_table
 from ..analysis.fragmentation import fragmentation_summary
-from ..config import paper_default
+from ..config import ClusterSpec, PRESETS, paper_default
+from ..network import NetworkFabric
 from ..sim import DDCSimulator, ENGINES, EventLog
+from ..topology import build_cluster
 from ..types import ResourceVector
 from ..errors import WorkloadError
 from ..experiments import (
@@ -55,6 +60,69 @@ def _workload_from_args(args: argparse.Namespace):
         return list(build_workload(args.workload, args.count or None, args.seed))
     except WorkloadError as exc:
         raise SystemExit(str(exc)) from None
+
+
+def render_topology(spec: ClusterSpec) -> str:
+    """The fabric tier tree of one spec: hierarchy sketch plus a per-tier
+    table of bundle counts, capacity, and oversubscription.
+
+    Oversubscription of tier ``l`` is the aggregate capacity entering its
+    child tier divided by this tier's aggregate uplink capacity — how much
+    the traffic funnel narrows at that aggregation stage (1.0 = non-blocking
+    relative to the tier below).
+    """
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    topo = fabric.topology
+    num_racks = cluster.num_racks
+    node_counts = (len(cluster.all_boxes()), *topo.node_counts(num_racks))
+    level_names = ["box"] + [
+        ("rack" if level == 1 else topo.tiers[level - 1].name)
+        for level in range(1, topo.num_tiers + 1)
+    ]
+
+    lines = [
+        f"{num_racks} racks in {cluster.num_pods} pod(s), "
+        f"{node_counts[0]} boxes, {topo.num_tiers} link tiers"
+    ]
+    for level in range(topo.num_tiers, -1, -1):
+        indent = "   " * (topo.num_tiers - level)
+        branch = "" if level == topo.num_tiers else "└─ "
+        uplinks = (
+            ""
+            if level == topo.num_tiers
+            else (
+                f", {topo.tiers[level].uplinks} x "
+                f"{topo.tier_link_bandwidth_gbps(level):g} Gb/s uplinks each"
+            )
+        )
+        lines.append(
+            f"{indent}{branch}{level_names[level]} x{node_counts[level]} "
+            f"({topo.switch_ports_at(level)} ports){uplinks}"
+        )
+
+    headers = ["tier", "name", "bundles", "links/bundle", "capacity Gb/s", "oversub"]
+    rows = []
+    for level in range(topo.num_tiers):
+        tier = topo.tier_id(level)
+        capacity = fabric.tier_capacity_gbps(tier)
+        below = (
+            fabric.tier_capacity_gbps(topo.tier_id(level - 1)) if level else None
+        )
+        oversub = "-" if below is None else f"{below / capacity:.2f}x"
+        rows.append(
+            [
+                str(level),
+                tier.name,
+                str(node_counts[level]),
+                str(topo.tiers[level].uplinks),
+                f"{capacity:g}",
+                oversub,
+            ]
+        )
+    lines.append("")
+    lines.append(ascii_table(headers, rows))
+    return "\n".join(lines)
 
 
 def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
@@ -127,6 +195,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="multi-seed comparison with CIs")
     p.add_argument("--seeds", type=int, default=3, help="number of seeds")
     p.add_argument("--count", type=int, default=300, help="VMs per seed")
+
+    p = sub.add_parser(
+        "topology", help="print the fabric tier tree of a config preset"
+    )
+    p.add_argument(
+        "preset",
+        nargs="?",
+        default="paper",
+        choices=sorted(PRESETS),
+        help="config preset (default: paper)",
+    )
 
     p = sub.add_parser(
         "sweep", help="multi-seed × multi-scheduler sweep, optionally parallel"
@@ -237,6 +316,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             seeds=tuple(range(args.seeds)),
         )
         print(stats_table(stats))
+        return 0
+
+    if args.command == "topology":
+        spec = PRESETS[args.preset]()
+        print(f"fabric topology of preset {args.preset!r}:")
+        print(render_topology(spec))
         return 0
 
     if args.command == "sweep":

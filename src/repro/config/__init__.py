@@ -5,11 +5,13 @@ Public surface:
 - :class:`DDCConfig` — cluster shape and unit quantization (Table 1).
 - :class:`NetworkConfig` / :class:`BandwidthBasis` — link capacities and
   per-VM bandwidth demands (Table 2).
+- :class:`FabricTopology` / :class:`TierSpec` — the aggregation-tier chain
+  (two-tier paper default, or pod/spine hierarchies).
 - :class:`EnergyConfig` — optical energy model constants (Section 3.2).
 - :class:`LatencyConfig` — CPU-RAM round-trip latencies (Section 5.2).
 - :class:`ClusterSpec` — bundle of all of the above.
 - Presets: :func:`paper_default`, :func:`toy_example`, :func:`scaled`,
-  :func:`tiny_test`.
+  :func:`tiny_test`, :func:`pod_scale` (and the ``PRESETS`` registry).
 - JSON round-trip helpers in :mod:`repro.config.serialization`.
 """
 
@@ -17,8 +19,22 @@ from .cluster_spec import ClusterSpec
 from .ddc import DDCConfig
 from .energy import EnergyConfig
 from .latency import LatencyConfig
-from .network import BandwidthBasis, NetworkConfig
-from .presets import paper_default, scaled, tiny_test, toy_example
+from .network import (
+    BandwidthBasis,
+    FabricTopology,
+    NetworkConfig,
+    TierSpec,
+    validate_benes_radix,
+)
+from .presets import (
+    PRESETS,
+    paper_default,
+    pod_scale,
+    scaled,
+    tiny_pod_test,
+    tiny_test,
+    toy_example,
+)
 from .serialization import load_spec, save_spec, spec_from_dict, spec_to_dict
 
 __all__ = [
@@ -26,14 +42,20 @@ __all__ = [
     "ClusterSpec",
     "DDCConfig",
     "EnergyConfig",
+    "FabricTopology",
     "LatencyConfig",
     "NetworkConfig",
+    "PRESETS",
+    "TierSpec",
     "load_spec",
     "paper_default",
+    "pod_scale",
     "save_spec",
     "scaled",
     "spec_from_dict",
     "spec_to_dict",
+    "tiny_pod_test",
     "tiny_test",
     "toy_example",
+    "validate_benes_radix",
 ]

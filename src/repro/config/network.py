@@ -13,6 +13,24 @@ import enum
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..types import TierId
+
+
+def validate_benes_radix(ports: int, where: str) -> int:
+    """Validate one Beneš switch radix and return it.
+
+    A Beneš network needs a power-of-two port count >= 2; the paper's
+    switches are 64 / 256 / 512 ports.  ``where`` names the offending
+    config field or fabric tier in the :class:`ConfigurationError`, so a
+    bad multi-tier spec points at the tier that broke, not a generic
+    radix complaint.  Shared by :class:`NetworkConfig` and the per-tier
+    :class:`TierSpec` validation.
+    """
+    if ports < 2 or ports & (ports - 1):
+        raise ConfigurationError(
+            f"{where} must be a power of two >= 2 (Beneš radix), got {ports}"
+        )
+    return ports
 
 
 class BandwidthBasis(enum.Enum):
@@ -30,6 +48,185 @@ class BandwidthBasis(enum.Enum):
     PER_RAM_UNIT = "per_ram_unit"
     PER_CPU_UNIT = "per_cpu_unit"
     PER_MAX_UNIT = "per_max_unit"
+
+
+@dataclass(frozen=True, slots=True)
+class TierSpec:
+    """One aggregation tier of a hierarchical fabric.
+
+    Tier ``i`` connects every level-``i`` node to its level-``i+1`` parent
+    switch: tier 0 is box-switch -> rack-switch, tier 1 is rack-switch ->
+    next stage, and so on.
+
+    Parameters
+    ----------
+    name:
+        Tier identity (``intra_rack``, ``inter_rack``, ``pod``, ``spine``,
+        ...); becomes the :class:`~repro.types.TierId` name and the metrics
+        gauge label.
+    uplinks:
+        Parallel links from each child node to its parent switch.
+    switch_ports:
+        Beneš radix of the parent switch this tier feeds (the energy-model
+        input for that hop).
+    group_size:
+        How many level-``i`` nodes share one parent switch.  ``None`` means
+        "all remaining nodes under a single switch" (the root tier).  Tier 0
+        must leave this ``None`` — box->rack grouping comes from the DDC
+        rack shape, not the network spec.
+    link_bandwidth_gbps:
+        Per-link capacity override; ``None`` inherits the topology default.
+    """
+
+    name: str
+    uplinks: int
+    switch_ports: int
+    group_size: int | None = None
+    link_bandwidth_gbps: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fabric tier needs a non-empty name")
+        if self.uplinks <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: uplink count must be positive, got {self.uplinks}"
+            )
+        validate_benes_radix(self.switch_ports, f"tier {self.name!r} switch_ports")
+        if self.group_size is not None and self.group_size <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: group_size must be positive or None, "
+                f"got {self.group_size}"
+            )
+        if self.link_bandwidth_gbps is not None and self.link_bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: link_bandwidth_gbps must be positive"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FabricTopology:
+    """An arbitrary chain of fabric aggregation tiers.
+
+    The hierarchy is a tree: boxes (level 0) group into racks (level 1, the
+    grouping the DDC shape defines), racks group into whatever ``tiers[1]``
+    describes, and so on until a tier converges on a single root switch.
+    Tier names must be unique; the chain must have at least the two paper
+    tiers (box->rack, rack->up).
+    """
+
+    tiers: tuple[TierSpec, ...]
+    box_switch_ports: int = 64
+    link_bandwidth_gbps: float = 200.0
+
+    def __post_init__(self) -> None:
+        if len(self.tiers) < 2:
+            raise ConfigurationError(
+                f"fabric needs at least 2 tiers (box->rack, rack->up), "
+                f"got {len(self.tiers)}"
+            )
+        validate_benes_radix(self.box_switch_ports, "box_switch_ports")
+        if self.link_bandwidth_gbps <= 0:
+            raise ConfigurationError("link_bandwidth_gbps must be positive")
+        names = [tier.name for tier in self.tiers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"fabric tier names must be unique: {names}")
+        if self.tiers[0].group_size is not None:
+            raise ConfigurationError(
+                f"tier {self.tiers[0].name!r} (box->rack) must leave group_size "
+                "None; box grouping comes from the DDC rack shape"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_tiers(self) -> int:
+        """Number of link tiers (= tree depth; root sits at this level)."""
+        return len(self.tiers)
+
+    def tier_id(self, level: int) -> TierId:
+        """The :class:`TierId` of the tier leaving level ``level`` nodes."""
+        return TierId(level, self.tiers[level].name)
+
+    @property
+    def tier_ids(self) -> tuple[TierId, ...]:
+        """Every tier identity, leaf tier first."""
+        return tuple(self.tier_id(level) for level in range(self.num_tiers))
+
+    def tier_link_bandwidth_gbps(self, level: int) -> float:
+        """Per-link capacity of one tier (tier override or fabric default)."""
+        override = self.tiers[level].link_bandwidth_gbps
+        return self.link_bandwidth_gbps if override is None else override
+
+    def switch_ports_at(self, level: int) -> int:
+        """Radix of the switches sitting at one node level.
+
+        Level 0 is the box switch; level ``l >= 1`` switches are fed by tier
+        ``l - 1``.
+        """
+        if level == 0:
+            return self.box_switch_ports
+        return self.tiers[level - 1].switch_ports
+
+    def node_counts(self, num_racks: int) -> tuple[int, ...]:
+        """Node count per level 1..num_tiers for a ``num_racks`` cluster.
+
+        Level 1 holds one switch per rack; each further tier groups the
+        previous level by its ``group_size`` (``None`` collapses everything
+        into one node).  Raises :class:`ConfigurationError` when the chain
+        does not converge to a single root.
+        """
+        counts = [num_racks]
+        for tier in self.tiers[1:]:
+            prev = counts[-1]
+            if tier.group_size is None:
+                counts.append(1)
+            else:
+                counts.append(-(-prev // tier.group_size))
+        if counts[-1] != 1:
+            raise ConfigurationError(
+                f"tier {self.tiers[-1].name!r} leaves {counts[-1]} root switches; "
+                "the last tier must converge to a single root (use "
+                "group_size=None or a group_size covering all nodes)"
+            )
+        return tuple(counts)
+
+    def rack_ancestors(self, rack_index: int) -> tuple[int, ...]:
+        """Node ids of one rack's ancestor chain, level 1 up to the root."""
+        chain = [rack_index]
+        for tier in self.tiers[1:]:
+            prev = chain[-1]
+            chain.append(0 if tier.group_size is None else prev // tier.group_size)
+        return tuple(chain)
+
+    @classmethod
+    def two_tier(
+        cls,
+        box_uplinks: int = 8,
+        rack_uplinks: int = 28,
+        link_bandwidth_gbps: float = 200.0,
+        box_switch_ports: int = 64,
+        rack_switch_ports: int = 256,
+        inter_rack_switch_ports: int = 512,
+    ) -> "FabricTopology":
+        """The paper's two-tier fabric (every rack off one inter-rack switch)."""
+        return cls(
+            tiers=(
+                TierSpec(
+                    name="intra_rack",
+                    uplinks=box_uplinks,
+                    switch_ports=rack_switch_ports,
+                ),
+                TierSpec(
+                    name="inter_rack",
+                    uplinks=rack_uplinks,
+                    switch_ports=inter_rack_switch_ports,
+                ),
+            ),
+            box_switch_ports=box_switch_ports,
+            link_bandwidth_gbps=link_bandwidth_gbps,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +251,11 @@ class NetworkConfig:
     box_switch_ports / rack_switch_ports / inter_rack_switch_ports:
         Beneš switch radices used by the energy model (Section 5 of the
         paper: 64 / 256 / 512).
+    topology:
+        Optional explicit :class:`FabricTopology`.  ``None`` (the default)
+        derives the paper's two-tier chain from the legacy scalar fields
+        above, so every existing spec keeps its exact fabric; a 3-or-more
+        tier chain (pods, spines) replaces the scalars wholesale.
     """
 
     link_bandwidth_gbps: float = 200.0
@@ -65,6 +267,7 @@ class NetworkConfig:
     box_switch_ports: int = 64
     rack_switch_ports: int = 256
     inter_rack_switch_ports: int = 512
+    topology: FabricTopology | None = None
 
     def __post_init__(self) -> None:
         if self.link_bandwidth_gbps <= 0:
@@ -74,11 +277,25 @@ class NetworkConfig:
         if self.cpu_ram_gbps_per_unit < 0 or self.ram_storage_gbps_per_unit < 0:
             raise ConfigurationError("per-unit bandwidth demands must be >= 0")
         for name in ("box_switch_ports", "rack_switch_ports", "inter_rack_switch_ports"):
-            ports = getattr(self, name)
-            if ports < 2 or ports & (ports - 1):
-                raise ConfigurationError(
-                    f"{name} must be a power of two >= 2 (Beneš radix), got {ports}"
-                )
+            validate_benes_radix(getattr(self, name), name)
+
+    def fabric_topology(self) -> FabricTopology:
+        """The tier chain this config describes.
+
+        The explicit :attr:`topology` wins; otherwise the legacy scalar
+        fields produce the paper's two-tier chain, bit-identical to the
+        pre-:class:`FabricTopology` fabric.
+        """
+        if self.topology is not None:
+            return self.topology
+        return FabricTopology.two_tier(
+            box_uplinks=self.box_uplinks,
+            rack_uplinks=self.rack_uplinks,
+            link_bandwidth_gbps=self.link_bandwidth_gbps,
+            box_switch_ports=self.box_switch_ports,
+            rack_switch_ports=self.rack_switch_ports,
+            inter_rack_switch_ports=self.inter_rack_switch_ports,
+        )
 
     def cpu_ram_demand_gbps(self, cpu_units: int, ram_units: int) -> float:
         """Bandwidth demand of a VM's CPU<->RAM flow (Table 2)."""

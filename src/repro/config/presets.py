@@ -2,17 +2,22 @@
 
 ``paper_default()`` reproduces Tables 1-2 (18-rack cluster); ``toy_example()``
 reproduces the 2-rack state of Table 3 (Section 4.3); ``scaled()`` produces
-larger/smaller clusters with the paper's per-rack shape for capacity studies.
+larger/smaller clusters with the paper's per-rack shape for capacity studies;
+``pod_scale()`` is a 3-tier pod/spine hierarchy beyond the paper's single
+inter-rack switch.  ``PRESETS`` maps CLI-friendly names to the zero-argument
+factories (the ``topology`` subcommand's menu).
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from ..types import ResourceType
 from .cluster_spec import ClusterSpec
 from .ddc import DDCConfig
 from .energy import EnergyConfig
 from .latency import LatencyConfig
-from .network import NetworkConfig
+from .network import FabricTopology, NetworkConfig, TierSpec
 
 
 def paper_default() -> ClusterSpec:
@@ -68,6 +73,37 @@ def scaled(num_racks: int) -> ClusterSpec:
     return ClusterSpec(ddc=DDCConfig(num_racks=num_racks))
 
 
+def pod_scale(num_pods: int = 4, racks_per_pod: int = 9) -> ClusterSpec:
+    """A 3-tier pod/spine cluster: racks group into pods, pods into a spine.
+
+    Per rack the shape matches the paper (6 boxes x 8 bricks x 16 units);
+    the fabric replaces the single 512-port inter-rack switch with one
+    512-port switch per pod and a 1024-port spine, so circuits can span up
+    to three bundle tiers (box->rack, rack->pod, pod->spine).  Pod uplink
+    counts keep the paper's per-rack uplink budget; the spine tier is
+    deliberately oversubscribed (the scenario family this preset opens:
+    spine-oversubscription and pod-local-placement studies).
+    """
+    topology = FabricTopology(
+        tiers=(
+            TierSpec(name="intra_rack", uplinks=8, switch_ports=256),
+            TierSpec(
+                name="pod",
+                uplinks=28,
+                switch_ports=512,
+                group_size=racks_per_pod,
+            ),
+            TierSpec(name="spine", uplinks=64, switch_ports=1024),
+        ),
+        box_switch_ports=64,
+        link_bandwidth_gbps=200.0,
+    )
+    return ClusterSpec(
+        ddc=DDCConfig(num_racks=num_pods * racks_per_pod),
+        network=NetworkConfig(topology=topology),
+    )
+
+
 def tiny_test() -> ClusterSpec:
     """A deliberately small cluster (2 racks, 1 box per type, 2 bricks) for
     fast unit tests and failure-injection scenarios."""
@@ -83,3 +119,42 @@ def tiny_test() -> ClusterSpec:
     )
     network = NetworkConfig(box_uplinks=2, rack_uplinks=2)
     return ClusterSpec(ddc=ddc, network=network)
+
+
+def tiny_pod_test(num_pods: int = 2, racks_per_pod: int = 2) -> ClusterSpec:
+    """A deliberately small 3-tier cluster for fast multi-tier unit tests.
+
+    Same per-rack shape as :func:`tiny_test` (1 box per type, 2 bricks of
+    4 units), with racks grouped into pods under a spine; small uplink
+    counts make network exhaustion easy to trigger.
+    """
+    ddc = DDCConfig(
+        num_racks=num_pods * racks_per_pod,
+        boxes_per_rack={
+            ResourceType.CPU: 1,
+            ResourceType.RAM: 1,
+            ResourceType.STORAGE: 1,
+        },
+        bricks_per_box=2,
+        units_per_brick=4,
+    )
+    topology = FabricTopology(
+        tiers=(
+            TierSpec(name="intra_rack", uplinks=2, switch_ports=256),
+            TierSpec(name="pod", uplinks=2, switch_ports=512, group_size=racks_per_pod),
+            TierSpec(name="spine", uplinks=2, switch_ports=512),
+        ),
+        box_switch_ports=64,
+        link_bandwidth_gbps=200.0,
+    )
+    return ClusterSpec(ddc=ddc, network=NetworkConfig(topology=topology))
+
+
+#: CLI-facing preset registry: name -> zero-argument ClusterSpec factory.
+PRESETS: dict[str, Callable[[], ClusterSpec]] = {
+    "paper": paper_default,
+    "toy": toy_example,
+    "tiny": tiny_test,
+    "tiny-pod": tiny_pod_test,
+    "pod-scale": pod_scale,
+}

@@ -17,7 +17,7 @@ from .cluster_spec import ClusterSpec
 from .ddc import DDCConfig
 from .energy import EnergyConfig
 from .latency import LatencyConfig
-from .network import BandwidthBasis, NetworkConfig
+from .network import BandwidthBasis, FabricTopology, NetworkConfig, TierSpec
 
 
 def ddc_to_dict(cfg: DDCConfig) -> dict[str, Any]:
@@ -64,6 +64,37 @@ def ddc_from_dict(data: dict[str, Any]) -> DDCConfig:
         raise ConfigurationError(f"missing DDC config key: {exc}") from exc
 
 
+def topology_to_dict(topology: FabricTopology | None) -> dict[str, Any] | None:
+    """Serialize a :class:`FabricTopology` (None passes through)."""
+    if topology is None:
+        return None
+    return {
+        "box_switch_ports": topology.box_switch_ports,
+        "link_bandwidth_gbps": topology.link_bandwidth_gbps,
+        "tiers": [
+            {
+                "name": tier.name,
+                "uplinks": tier.uplinks,
+                "switch_ports": tier.switch_ports,
+                "group_size": tier.group_size,
+                "link_bandwidth_gbps": tier.link_bandwidth_gbps,
+            }
+            for tier in topology.tiers
+        ],
+    }
+
+
+def topology_from_dict(data: dict[str, Any] | None) -> FabricTopology | None:
+    """Inverse of :func:`topology_to_dict`."""
+    if data is None:
+        return None
+    return FabricTopology(
+        tiers=tuple(TierSpec(**tier) for tier in data["tiers"]),
+        box_switch_ports=data["box_switch_ports"],
+        link_bandwidth_gbps=data["link_bandwidth_gbps"],
+    )
+
+
 def network_to_dict(cfg: NetworkConfig) -> dict[str, Any]:
     """Serialize a :class:`NetworkConfig`."""
     return {
@@ -76,13 +107,19 @@ def network_to_dict(cfg: NetworkConfig) -> dict[str, Any]:
         "box_switch_ports": cfg.box_switch_ports,
         "rack_switch_ports": cfg.rack_switch_ports,
         "inter_rack_switch_ports": cfg.inter_rack_switch_ports,
+        "topology": topology_to_dict(cfg.topology),
     }
 
 
 def network_from_dict(data: dict[str, Any]) -> NetworkConfig:
-    """Inverse of :func:`network_to_dict`."""
+    """Inverse of :func:`network_to_dict`.
+
+    Dicts written before the hierarchical fabric (no ``topology`` key) load
+    as the legacy two-tier config.
+    """
     kwargs = dict(data)
     kwargs["bandwidth_basis"] = BandwidthBasis(kwargs["bandwidth_basis"])
+    kwargs["topology"] = topology_from_dict(kwargs.get("topology"))
     return NetworkConfig(**kwargs)
 
 

@@ -38,6 +38,9 @@ class SweepPoint:
     count: int | None = None
     #: None resolves to the worker's process-wide default engine.
     engine: str | None = None
+    #: Sweeps only ship summary scalars back, so per-VM record retention
+    #: defaults off — metric memory stays O(1) in trace length.
+    keep_records: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,7 +134,13 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
     """Run one sweep point against the worker's pinned spec."""
     spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
     vms = build_workload(point.workload, point.count, point.seed)
-    result = simulate(spec, point.scheduler, vms, engine=point.engine)
+    result = simulate(
+        spec,
+        point.scheduler,
+        vms,
+        engine=point.engine,
+        keep_records=point.keep_records,
+    )
     return SweepOutcome(point=point, summary=result.summary, end_time=result.end_time)
 
 
@@ -147,6 +156,9 @@ class SimulationSession:
     tests and small sweeps use; ``parallel=N`` spins up at most N workers,
     each initialized once with the session's spec.  ``engine=None`` resolves
     to the process-wide default (``REPRO_SIM_ENGINE`` or flat).
+    ``keep_records=False`` (the default) runs every point with per-VM record
+    retention off — sweeps only consume summary scalars, so long traces no
+    longer accumulate O(trace) ``VMRecord`` lists in the workers.
     """
 
     def __init__(
@@ -154,10 +166,12 @@ class SimulationSession:
         spec: ClusterSpec | None = None,
         parallel: int = 1,
         engine: str | None = None,
+        keep_records: bool = False,
     ) -> None:
         self.spec = spec if spec is not None else paper_default()
         self.parallel = max(1, int(parallel))
         self.engine = default_engine() if engine is None else engine
+        self.keep_records = keep_records
 
     def run_points(self, points: Iterable[SweepPoint]) -> SweepResult:
         """Execute points, preserving submission order in the result."""
@@ -199,6 +213,7 @@ class SimulationSession:
                 workload=workload,
                 count=count,
                 engine=self.engine,
+                keep_records=self.keep_records,
             )
             for seed in seeds
             for scheduler in schedulers

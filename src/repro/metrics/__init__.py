@@ -1,6 +1,6 @@
 """Metric collection and summarization for simulation runs."""
 
-from .collector import MetricsCollector, VMRecord
+from .collector import MetricsCollector, VMRecord, tier_gauge_name
 from .gauges import TimeWeightedGauge
 from .summary import RunSummary, aggregate_summaries, summarize
 
@@ -11,4 +11,5 @@ __all__ = [
     "VMRecord",
     "aggregate_summaries",
     "summarize",
+    "tier_gauge_name",
 ]

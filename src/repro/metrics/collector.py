@@ -5,6 +5,17 @@ accumulates everything the paper's figures need: per-VM placement records
 (Figures 5, 7, 10), time-weighted network/compute utilization (Figure 8 and
 the Section 5.1 utilization quotes), optical energy (Figure 9), and the
 scheduler-only wall-clock time (Figures 11-12).
+
+Network gauges are per fabric tier: the leaf tier samples as ``intra_net``
+and the top tier as ``inter_net`` (the paper's two Figure 8 series — on the
+two-tier fabric those are the only tiers), and every intermediate tier gets
+its own ``<name>_net`` gauge (``pod_net`` on a pod/spine fabric).
+
+Large sweeps that only need :class:`~repro.metrics.summary.RunSummary`
+scalars can pass ``keep_records=False``: scalar tallies (drop counts,
+inter-rack counts, latency sums) are maintained incrementally and the
+per-VM :class:`VMRecord` list stays empty, so memory stays O(1) in trace
+length.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ from ..network import NetworkFabric
 from ..photonics import PowerReport
 from ..schedulers import Placement
 from ..topology import Cluster
-from ..types import RESOURCE_ORDER, LinkTier, ResourceType
+from ..types import RESOURCE_ORDER, ResourceType, TierId
 from ..workloads import ResolvedRequest
 from .gauges import TimeWeightedGauge
 
@@ -35,6 +46,22 @@ class VMRecord:
     racks: tuple[int, ...]
     cpu_ram_latency_ns: float | None
     optical_energy_j: float
+    #: Fabric tiers the VM's circuits climb (1 = same rack); 0 for drops.
+    tier_distance: int = 0
+
+
+def tier_gauge_name(tier: TierId, num_tiers: int) -> str:
+    """The gauge label of one fabric tier.
+
+    The leaf tier keeps the paper's ``intra_net`` name and the top tier
+    ``inter_net`` (so two-tier runs read exactly as before); intermediate
+    tiers are labelled ``<name>_net``.
+    """
+    if tier.level == 0:
+        return "intra_net"
+    if tier.level == num_tiers - 1:
+        return "inter_net"
+    return f"{tier.name}_net"
 
 
 @dataclass(slots=True)
@@ -44,22 +71,41 @@ class MetricsCollector:
     spec: ClusterSpec
     cluster: Cluster
     fabric: NetworkFabric
+    keep_records: bool = True
     records: list[VMRecord] = field(default_factory=list)
     power: PowerReport = field(init=False)
     scheduler_time_s: float = 0.0
     first_arrival: float | None = None
     last_event_time: float = 0.0
     _gauges: dict[str, TimeWeightedGauge] = field(default_factory=dict)
+    _net_gauges: tuple[tuple[TierId, TimeWeightedGauge], ...] = field(
+        init=False, default=()
+    )
+    # Scalar tallies maintained on every event so summaries never need the
+    # per-VM record list (the keep_records=False path).
+    total_requests: int = field(init=False, default=0)
+    scheduled_count: int = field(init=False, default=0)
+    inter_rack_count: int = field(init=False, default=0)
+    latency_sum_ns: float = field(init=False, default=0.0)
+    latency_count: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         self.power = PowerReport(energy_config=self.spec.energy)
-        self._gauges = {
-            "intra_net": TimeWeightedGauge(),
-            "inter_net": TimeWeightedGauge(),
-            "cpu": TimeWeightedGauge(),
-            "ram": TimeWeightedGauge(),
-            "storage": TimeWeightedGauge(),
-        }
+        tiers = self.fabric.tiers
+        net_pairs = []
+        self._gauges = {}
+        for tier in tiers:
+            gauge = TimeWeightedGauge()
+            self._gauges[tier_gauge_name(tier, len(tiers))] = gauge
+            net_pairs.append((tier, gauge))
+        self._net_gauges = tuple(net_pairs)
+        for name in ("cpu", "ram", "storage"):
+            self._gauges[name] = TimeWeightedGauge()
+        self.total_requests = 0
+        self.scheduled_count = 0
+        self.inter_rack_count = 0
+        self.latency_sum_ns = 0.0
+        self.latency_count = 0
 
     # ------------------------------------------------------------------ #
     # Event hooks
@@ -67,11 +113,13 @@ class MetricsCollector:
 
     def _sample_gauges(self, now: float) -> None:
         """Refresh every gauge from cluster/fabric state at ``now``."""
-        self._gauges["intra_net"].update(now, self.fabric.tier_utilization(LinkTier.INTRA_RACK))
-        self._gauges["inter_net"].update(now, self.fabric.tier_utilization(LinkTier.INTER_RACK))
+        for tier, gauge in self._net_gauges:
+            gauge.update(now, self.fabric.tier_utilization(tier))
         self._gauges["cpu"].update(now, self.cluster.utilization(ResourceType.CPU))
         self._gauges["ram"].update(now, self.cluster.utilization(ResourceType.RAM))
-        self._gauges["storage"].update(now, self.cluster.utilization(ResourceType.STORAGE))
+        self._gauges["storage"].update(
+            now, self.cluster.utilization(ResourceType.STORAGE)
+        )
         self.last_event_time = max(self.last_event_time, now)
 
     def _note_arrival(self, now: float) -> None:
@@ -90,39 +138,49 @@ class MetricsCollector:
             request.vm_id, list(placement.circuits), request.vm.lifetime
         )
         latency = self.spec.latency.cpu_ram_rtt_ns(placement.cpu_ram_intra)
-        self.records.append(
-            VMRecord(
-                vm_id=request.vm_id,
-                arrival=request.vm.arrival,
-                lifetime=request.vm.lifetime,
-                scheduled=True,
-                intra_rack=placement.intra_rack,
-                cpu_ram_intra=placement.cpu_ram_intra,
-                racks_spanned=len(placement.racks),
-                racks=tuple(sorted(placement.racks)),
-                cpu_ram_latency_ns=latency,
-                optical_energy_j=energy.total_j,
+        self.total_requests += 1
+        self.scheduled_count += 1
+        if not placement.intra_rack:
+            self.inter_rack_count += 1
+        self.latency_sum_ns += latency
+        self.latency_count += 1
+        if self.keep_records:
+            self.records.append(
+                VMRecord(
+                    vm_id=request.vm_id,
+                    arrival=request.vm.arrival,
+                    lifetime=request.vm.lifetime,
+                    scheduled=True,
+                    intra_rack=placement.intra_rack,
+                    cpu_ram_intra=placement.cpu_ram_intra,
+                    racks_spanned=len(placement.racks),
+                    racks=tuple(sorted(placement.racks)),
+                    cpu_ram_latency_ns=latency,
+                    optical_energy_j=energy.total_j,
+                    tier_distance=placement.tier_distance,
+                )
             )
-        )
         self._sample_gauges(now)
 
     def record_drop(self, request: ResolvedRequest, now: float) -> None:
         """Record a dropped VM."""
         self._note_arrival(now)
-        self.records.append(
-            VMRecord(
-                vm_id=request.vm_id,
-                arrival=request.vm.arrival,
-                lifetime=request.vm.lifetime,
-                scheduled=False,
-                intra_rack=False,
-                cpu_ram_intra=False,
-                racks_spanned=0,
-                racks=(),
-                cpu_ram_latency_ns=None,
-                optical_energy_j=0.0,
+        self.total_requests += 1
+        if self.keep_records:
+            self.records.append(
+                VMRecord(
+                    vm_id=request.vm_id,
+                    arrival=request.vm.arrival,
+                    lifetime=request.vm.lifetime,
+                    scheduled=False,
+                    intra_rack=False,
+                    cpu_ram_intra=False,
+                    racks_spanned=0,
+                    racks=(),
+                    cpu_ram_latency_ns=None,
+                    optical_energy_j=0.0,
+                )
             )
-        )
         self._sample_gauges(now)
 
     def record_release(self, now: float) -> None:
@@ -135,7 +193,7 @@ class MetricsCollector:
 
     def reset(self) -> None:
         """Return the collector to its just-built state (records, gauges,
-        power, and timing all cleared).
+        power, tallies, and timing all cleared).
 
         After a completed run every resource is back in the pool, so a reset
         lets the same simulator replay another trace without rebuilding the
@@ -169,6 +227,13 @@ class MetricsCollector:
     def gauge_names(self) -> tuple[str, ...]:
         """Names accepted by :meth:`average_utilization`."""
         return tuple(self._gauges)
+
+    def net_gauge_names(self) -> tuple[str, ...]:
+        """The network gauges only, leaf tier first."""
+        return tuple(
+            tier_gauge_name(tier, len(self._net_gauges))
+            for tier, _ in self._net_gauges
+        )
 
     def compute_utilization_averages(self) -> dict[ResourceType, float]:
         """Time-weighted compute utilization per resource type."""

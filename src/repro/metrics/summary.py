@@ -7,7 +7,7 @@ vectorized reductions over per-VM records.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -40,6 +40,10 @@ class RunSummary:
     avg_optical_power_kw: float
     scheduler_time_s: float
     makespan: float
+    #: Per-tier time-weighted network utilization, keyed by gauge name
+    #: (``intra_net``, ``pod_net``, ..., ``inter_net``).  Two-tier runs hold
+    #: exactly the intra/inter pair mirrored in the scalar fields above.
+    avg_tier_net_utilization: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""
@@ -64,27 +68,54 @@ def aggregate_summaries(summaries: Sequence[RunSummary]) -> dict:
     for key, value in dicts[0].items():
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             out[key] = float(np.mean([d[key] for d in dicts]))
+        elif isinstance(value, dict) and value:
+            # Per-tier maps average key-wise (tier sets agree within a sweep).
+            out[key] = {
+                tier: float(np.mean([d[key][tier] for d in dicts]))
+                for tier in value
+            }
     return out
 
 
 def summarize(scheduler_name: str, collector: MetricsCollector) -> RunSummary:
-    """Reduce a collector to a :class:`RunSummary`."""
-    records = collector.records
-    total = len(records)
-    scheduled = [r for r in records if r.scheduled]
-    dropped = total - len(scheduled)
-    inter = sum(1 for r in scheduled if not r.intra_rack)
-    latencies = np.array(
-        [r.cpu_ram_latency_ns for r in scheduled if r.cpu_ram_latency_ns is not None],
-        dtype=float,
-    )
-    avg_latency = float(latencies.mean()) if latencies.size else 0.0
+    """Reduce a collector to a :class:`RunSummary`.
+
+    With ``keep_records=True`` (the default) the per-VM record list is the
+    source of truth, exactly as before; a record-free collector summarizes
+    from its incremental tallies instead — same quantities, O(1) memory.
+    """
+    if collector.keep_records:
+        records = collector.records
+        total = len(records)
+        scheduled = [r for r in records if r.scheduled]
+        n_scheduled = len(scheduled)
+        dropped = total - n_scheduled
+        inter = sum(1 for r in scheduled if not r.intra_rack)
+        latencies = np.array(
+            [r.cpu_ram_latency_ns for r in scheduled if r.cpu_ram_latency_ns is not None],
+            dtype=float,
+        )
+        avg_latency = float(latencies.mean()) if latencies.size else 0.0
+    else:
+        total = collector.total_requests
+        n_scheduled = collector.scheduled_count
+        dropped = total - n_scheduled
+        inter = collector.inter_rack_count
+        avg_latency = (
+            collector.latency_sum_ns / collector.latency_count
+            if collector.latency_count
+            else 0.0
+        )
     compute = collector.compute_utilization_averages()
     makespan = collector.makespan
+    tier_avgs = {
+        name: collector.average_utilization(name)
+        for name in collector.net_gauge_names()
+    }
     return RunSummary(
         scheduler=scheduler_name,
         total_vms=total,
-        scheduled_vms=len(scheduled),
+        scheduled_vms=n_scheduled,
         dropped_vms=dropped,
         inter_rack_assignments=inter,
         inter_rack_percent=100.0 * inter / total if total else 0.0,
@@ -102,4 +133,5 @@ def summarize(scheduler_name: str, collector: MetricsCollector) -> RunSummary:
         avg_optical_power_kw=collector.power.average_power_kw(makespan),
         scheduler_time_s=collector.scheduler_time_s,
         makespan=makespan,
+        avg_tier_net_utilization=tier_avgs,
     )

@@ -1,13 +1,14 @@
-"""Two-tier optical network fabric with circuit-level bandwidth accounting."""
+"""Hierarchical optical network fabric with circuit-level bandwidth accounting."""
 
 from .bundle import LinkBundle, LinkSelectionPolicy
 from .circuit import Circuit
-from .fabric import NetworkFabric
+from .fabric import FabricPath, NetworkFabric
 from .link import BANDWIDTH_EPS, Link
 
 __all__ = [
     "BANDWIDTH_EPS",
     "Circuit",
+    "FabricPath",
     "Link",
     "LinkBundle",
     "LinkSelectionPolicy",

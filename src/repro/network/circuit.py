@@ -23,14 +23,25 @@ class Circuit:
         ``(64, 256, 64)``; inter-rack: ``(64, 256, 512, 256, 64)``).
     intra_rack:
         True when both endpoints sit in the same rack.
+    lca_level:
+        Node level of the lowest common ancestor switch — the number of
+        tiers the path climbs.  1 for a same-rack flow, 2 when the flow
+        crosses the rack tier (the paper's inter-rack case), 3 when it
+        crosses pods, and so on.
     """
 
     links: tuple[Link, ...]
     demand_gbps: float
     switch_ports: tuple[int, ...]
     intra_rack: bool
+    lca_level: int = 1
 
     @property
     def hop_count(self) -> int:
         """Number of links traversed."""
         return len(self.links)
+
+    @property
+    def tier_distance(self) -> int:
+        """Alias for :attr:`lca_level`: locality in tiers (1 = same rack)."""
+        return self.lca_level

@@ -1,137 +1,301 @@
-"""The two-tier optical fabric of the DDC (Figures 2-3).
+"""The hierarchical optical fabric of the DDC (Figures 2-3, generalized).
 
-Topology: every box switch connects to its rack's intra-rack switch through a
-bundle of parallel links ("intra-rack" tier); every rack switch connects to
-the single inter-rack switch through another bundle ("inter-rack" tier).  A
-flow between two boxes therefore takes:
+The paper's fabric is two-tier: every box switch connects to its rack's
+intra-rack switch through a bundle of parallel links, every rack switch to
+the single inter-rack switch through another bundle.  This module models the
+N-tier generalization described by :class:`~repro.config.FabricTopology`:
+boxes (level 0) hang off rack switches (level 1), racks off pod switches,
+pods off spines, ... until a single root.  A flow between two boxes climbs
+to their lowest common ancestor and back down:
 
-- same rack:     box A -> rack switch -> box B            (2 links, 3 switches)
-- across racks:  box A -> rack A -> inter -> rack B -> box B
-                                                          (4 links, 5 switches)
+- same rack:     box A -> rack switch -> box B            (2 links)
+- across racks:  box A -> rack A -> parent -> rack B -> box B  (4 links)
+- across pods:   box A -> rack A -> pod A -> spine -> pod B -> rack B -> box B
 
-Circuit allocation is atomic: either every hop reserves bandwidth or nothing
-does.  Per-tier used-bandwidth counters are maintained incrementally so
-utilization sampling is O(1) — the quantity plotted in Figure 8.
+Circuit allocation is atomic over the variable-length path: either every hop
+reserves bandwidth or nothing does.  Per-tier used-bandwidth counters are
+maintained incrementally so utilization sampling is O(1) per tier — the
+quantities plotted in Figure 8 (and their per-tier generalization).
+
+The default two-tier topology reproduces the paper's fabric bit-for-bit:
+same bundles, same link order, same switch-port tuples, same tier counters.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
-from ..config import ClusterSpec
+from ..config import ClusterSpec, FabricTopology
 from ..errors import NetworkAllocationError, TopologyError
 from ..topology import Cluster
-from ..types import LinkTier
+from ..types import TierId
 from .bundle import LinkBundle, LinkSelectionPolicy
 from .circuit import Circuit
 from .link import BANDWIDTH_EPS, Link
 
 
+@dataclass(frozen=True, slots=True)
+class FabricPath:
+    """The resolved route between two boxes.
+
+    ``bundles`` holds one :class:`LinkBundle` per hop (ascending on the A
+    side, then descending on the B side); ``switch_ports`` the radix of
+    every switch traversed, in path order; ``lca_level`` the node level of
+    the lowest common ancestor (1 = same rack).
+    """
+
+    bundles: tuple[LinkBundle, ...]
+    switch_ports: tuple[int, ...]
+    lca_level: int
+
+    @property
+    def intra_rack(self) -> bool:
+        """True when both endpoints share a rack."""
+        return self.lca_level <= 1
+
+
 class NetworkFabric:
-    """Bandwidth state of the whole optical network."""
+    """Bandwidth state of the whole optical network, over N tiers."""
 
     __slots__ = (
         "spec",
-        "_box_bundles",
-        "_rack_bundles",
+        "topology",
+        "_tiers",
+        "_bundles",
+        "_ancestors",
+        "_rack_ancestors",
         "_tier_capacity",
         "_tier_used",
-        "_box_rack",
+        "_num_racks",
+        "_node_counts",
+        "_rings_cache",
     )
 
-    def __init__(self, spec: ClusterSpec, cluster: Cluster) -> None:
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        cluster: Cluster,
+        topology: FabricTopology | None = None,
+    ) -> None:
         self.spec = spec
-        net = spec.network
-        self._box_bundles: dict[int, LinkBundle] = {}
-        self._rack_bundles: dict[int, LinkBundle] = {}
-        self._box_rack: dict[int, int] = {}
-        self._tier_capacity = {LinkTier.INTRA_RACK: 0.0, LinkTier.INTER_RACK: 0.0}
-        self._tier_used = {LinkTier.INTRA_RACK: 0.0, LinkTier.INTER_RACK: 0.0}
+        topo = topology if topology is not None else spec.network.fabric_topology()
+        self.topology = topo
+        num_racks = cluster.num_racks
+        self._num_racks = num_racks
+        node_counts = topo.node_counts(num_racks)  # levels 1..T
+        self._node_counts = node_counts
+        self._tiers: tuple[TierId, ...] = topo.tier_ids
+        self._tier_capacity: dict[TierId, float] = {t: 0.0 for t in self._tiers}
+        self._tier_used: dict[TierId, float] = {t: 0.0 for t in self._tiers}
+        self._rings_cache: dict[int, tuple[tuple[tuple[int, int], ...], ...]] = {}
 
+        # Ancestor chains: one per rack (levels 1..T), one per box (levels
+        # 0..T).  The box chain is the rack chain prefixed with the box id.
+        rack_chains = [topo.rack_ancestors(r) for r in range(num_racks)]
+        self._rack_ancestors: tuple[tuple[int, ...], ...] = tuple(rack_chains)
+        self._ancestors: dict[int, tuple[int, ...]] = {}
+
+        # Bundles per tier level: tier 0 keyed by box id, tier l >= 1 keyed
+        # by the level-l node id.  Link ids are assigned tier-major in
+        # construction order, matching the legacy fabric exactly.
+        self._bundles: tuple[dict[int, LinkBundle], ...] = tuple(
+            {} for _ in range(topo.num_tiers)
+        )
         next_link_id = 0
+        tier0 = topo.tier_id(0)
+        bw0 = topo.tier_link_bandwidth_gbps(0)
         for box in cluster.all_boxes():
-            links = []
-            for _ in range(net.box_uplinks):
-                links.append(
-                    Link(
-                        link_id=next_link_id,
-                        tier=LinkTier.INTRA_RACK,
-                        capacity_gbps=net.link_bandwidth_gbps,
-                        a=f"box:{box.box_id}",
-                        b=f"rack:{box.rack_index}",
-                    )
+            links = [
+                Link(
+                    link_id=next_link_id + i,
+                    tier=tier0,
+                    capacity_gbps=bw0,
+                    a=f"box:{box.box_id}",
+                    b=f"rack:{box.rack_index}",
                 )
-                next_link_id += 1
+                for i in range(topo.tiers[0].uplinks)
+            ]
+            next_link_id += len(links)
             bundle = LinkBundle(name=f"box{box.box_id}-rack{box.rack_index}", links=links)
-            self._box_bundles[box.box_id] = bundle
-            self._box_rack[box.box_id] = box.rack_index
-            self._tier_capacity[LinkTier.INTRA_RACK] += bundle.capacity_gbps
-        for rack in cluster.racks:
-            links = []
-            for _ in range(net.rack_uplinks):
-                links.append(
-                    Link(
-                        link_id=next_link_id,
-                        tier=LinkTier.INTER_RACK,
-                        capacity_gbps=net.link_bandwidth_gbps,
-                        a=f"rack:{rack.index}",
-                        b="inter",
-                    )
+            self._bundles[0][box.box_id] = bundle
+            self._ancestors[box.box_id] = (box.box_id, *rack_chains[box.rack_index])
+            self._tier_capacity[tier0] += bundle.capacity_gbps
+        for level in range(1, topo.num_tiers):
+            tier = topo.tier_id(level)
+            bw = topo.tier_link_bandwidth_gbps(level)
+            spec_tier = topo.tiers[level]
+            for node in range(node_counts[level - 1]):
+                parent = (
+                    0 if spec_tier.group_size is None else node // spec_tier.group_size
                 )
-                next_link_id += 1
-            bundle = LinkBundle(name=f"rack{rack.index}-inter", links=links)
-            self._rack_bundles[rack.index] = bundle
-            self._tier_capacity[LinkTier.INTER_RACK] += bundle.capacity_gbps
+                links = [
+                    Link(
+                        link_id=next_link_id + i,
+                        tier=tier,
+                        capacity_gbps=bw,
+                        a=f"{tier.name}:{node}",
+                        b=f"up{level + 1}:{parent}",
+                    )
+                    for i in range(spec_tier.uplinks)
+                ]
+                next_link_id += len(links)
+                bundle = LinkBundle(name=f"{tier.name}{node}-up", links=links)
+                self._bundles[level][node] = bundle
+                self._tier_capacity[tier] += bundle.capacity_gbps
+
+    # ------------------------------------------------------------------ #
+    # Hierarchy queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tiers(self) -> tuple[TierId, ...]:
+        """Every link tier, leaf tier first."""
+        return self._tiers
+
+    @property
+    def num_tiers(self) -> int:
+        """Number of link tiers."""
+        return len(self._tiers)
+
+    def node_at_level(self, box_id: int, level: int) -> int:
+        """The level-``level`` ancestor node of one box (level 0 = the box)."""
+        return self._ancestors[box_id][level]
+
+    def tier_distance(self, box_a: int, box_b: int) -> int:
+        """LCA level between two boxes (0 = same box, 1 = same rack, ...)."""
+        anc_a = self._ancestors[box_a]
+        anc_b = self._ancestors[box_b]
+        level = 0
+        while anc_a[level] != anc_b[level]:
+            level += 1
+        return level
+
+    def rack_distance(self, rack_a: int, rack_b: int) -> int:
+        """LCA level between two racks' switches (1 = same rack)."""
+        anc_a = self._rack_ancestors[rack_a]
+        anc_b = self._rack_ancestors[rack_b]
+        level = 0
+        while anc_a[level] != anc_b[level]:
+            level += 1
+        return level + 1
+
+    def rack_rings(self, home_rack: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Rack-index ranges at increasing tier distance from ``home_rack``.
+
+        Entry ``d`` (0-based) lists the contiguous ``(lo, hi)`` rack ranges
+        at tier distance ``d + 2`` from home: first the other racks under
+        the same level-2 switch (the pod), then racks under the same level-3
+        switch but a different pod, and so on.  Each ring is a span minus
+        its inner sub-span, so it is at most two runs; runs are in ascending
+        rack order.  Two-tier fabrics have a single ring holding every
+        remote rack — the legacy "everywhere but home" frontier.
+        """
+        cached = self._rings_cache.get(home_rack)
+        if cached is not None:
+            return cached
+        chain = self._rack_ancestors[home_rack]
+        rings: list[tuple[tuple[int, int], ...]] = []
+        inner_lo, inner_hi = home_rack, home_rack + 1
+        for level in range(2, self.num_tiers + 1):
+            lo, hi = self._rack_span_under(level, chain[level - 1])
+            runs: list[tuple[int, int]] = []
+            if lo < inner_lo:
+                runs.append((lo, inner_lo))
+            if inner_hi < hi:
+                runs.append((inner_hi, hi))
+            rings.append(tuple(runs))
+            inner_lo, inner_hi = lo, hi
+        result = tuple(rings)
+        self._rings_cache[home_rack] = result
+        return result
+
+    def _rack_span_under(self, level: int, node: int) -> tuple[int, int]:
+        """The contiguous rack-index range under one level-``level`` node.
+
+        Pods (and every higher group) are contiguous runs of rack indices
+        by construction, so the span expands tier by tier: a node range at
+        level ``l`` maps to child nodes via ``tiers[l - 1].group_size``.
+        """
+        if level == 1:
+            return node, node + 1
+        lo, hi = node, node + 1
+        for tier_index in range(level - 1, 0, -1):
+            children = self._node_counts[tier_index - 1]  # nodes at this level
+            group = self.topology.tiers[tier_index].group_size
+            if group is None:
+                lo, hi = 0, children
+            else:
+                lo, hi = lo * group, min(hi * group, children)
+        return lo, hi
 
     # ------------------------------------------------------------------ #
     # Path construction
     # ------------------------------------------------------------------ #
 
     def box_bundle(self, box_id: int) -> LinkBundle:
-        """The box<->rack-switch bundle of one box."""
+        """The box<->rack-switch bundle of one box (tier 0)."""
         try:
-            return self._box_bundles[box_id]
+            return self._bundles[0][box_id]
         except KeyError:
             raise TopologyError(f"no bundle for box {box_id}") from None
 
     def rack_bundle(self, rack_index: int) -> LinkBundle:
-        """The rack-switch<->inter-rack-switch bundle of one rack."""
+        """The rack-switch uplink bundle of one rack (tier 1)."""
         try:
-            return self._rack_bundles[rack_index]
+            return self._bundles[1][rack_index]
         except KeyError:
             raise TopologyError(f"no bundle for rack {rack_index}") from None
 
-    def path_bundles(self, box_a: int, box_b: int) -> tuple[list[LinkBundle], tuple[int, ...], bool]:
-        """Bundles and switch radices along the flow path between two boxes.
+    def uplink_bundle(self, level: int, node: int) -> LinkBundle:
+        """The uplink bundle of one node at any level."""
+        try:
+            return self._bundles[level][node]
+        except (IndexError, KeyError):
+            raise TopologyError(f"no bundle for level-{level} node {node}") from None
 
-        Returns ``(bundles, switch_ports, intra_rack)``.
+    def tier_bundles(self, level: int) -> tuple[LinkBundle, ...]:
+        """Every bundle of one tier, in node order."""
+        return tuple(self._bundles[level].values())
+
+    def resolve_path(self, box_a: int, box_b: int) -> FabricPath:
+        """The lowest-common-ancestor route between two boxes.
+
+        The path climbs A's uplink bundles to the LCA switch and descends
+        B's, collecting the radix of every switch traversed for the energy
+        model.  Works identically for 2 tiers and N tiers.
         """
         if box_a == box_b:
             raise NetworkAllocationError(
                 f"flow endpoints must differ (both box {box_a}); boxes hold a "
                 "single resource type so intra-box flows cannot occur"
             )
-        net = self.spec.network
-        rack_a = self._box_rack[box_a]
-        rack_b = self._box_rack[box_b]
-        if rack_a == rack_b:
-            bundles = [self._box_bundles[box_a], self._box_bundles[box_b]]
-            ports = (net.box_switch_ports, net.rack_switch_ports, net.box_switch_ports)
-            return bundles, ports, True
-        bundles = [
-            self._box_bundles[box_a],
-            self._rack_bundles[rack_a],
-            self._rack_bundles[rack_b],
-            self._box_bundles[box_b],
-        ]
-        ports = (
-            net.box_switch_ports,
-            net.rack_switch_ports,
-            net.inter_rack_switch_ports,
-            net.rack_switch_ports,
-            net.box_switch_ports,
+        anc_a = self._ancestors[box_a]
+        anc_b = self._ancestors[box_b]
+        lca = 1
+        while anc_a[lca] != anc_b[lca]:
+            lca += 1
+        bundles = [self._bundles[level][anc_a[level]] for level in range(lca)]
+        bundles.extend(
+            self._bundles[level][anc_b[level]] for level in range(lca - 1, -1, -1)
         )
-        return bundles, ports, False
+        topo = self.topology
+        ports = [topo.switch_ports_at(0)]
+        ports.extend(topo.switch_ports_at(level) for level in range(1, lca + 1))
+        ports.extend(topo.switch_ports_at(level) for level in range(lca - 1, 0, -1))
+        ports.append(topo.switch_ports_at(0))
+        return FabricPath(
+            bundles=tuple(bundles), switch_ports=tuple(ports), lca_level=lca
+        )
+
+    def path_bundles(self, box_a: int, box_b: int) -> tuple[list[LinkBundle], tuple[int, ...], bool]:
+        """Bundles and switch radices along the flow path between two boxes.
+
+        Returns ``(bundles, switch_ports, intra_rack)`` — the legacy
+        accessor; :meth:`resolve_path` additionally reports the LCA level.
+        """
+        path = self.resolve_path(box_a, box_b)
+        return list(path.bundles), path.switch_ports, path.intra_rack
 
     # ------------------------------------------------------------------ #
     # Feasibility checks (no mutation)
@@ -145,8 +309,8 @@ class NetworkFabric:
         """
         if demand_gbps <= 0:
             return True
-        bundles, _, _ = self.path_bundles(box_a, box_b)
-        return all(b.can_fit(demand_gbps) for b in bundles)
+        path = self.resolve_path(box_a, box_b)
+        return all(b.can_fit(demand_gbps) for b in path.bundles)
 
     # ------------------------------------------------------------------ #
     # Allocation / release
@@ -166,9 +330,9 @@ class NetworkFabric:
         flow still produces a circuit (it traverses switches and counts for
         the energy model) but reserves no bandwidth.
         """
-        bundles, ports, intra = self.path_bundles(box_a, box_b)
+        path = self.resolve_path(box_a, box_b)
         chosen: list[Link] = []
-        for bundle in bundles:
+        for bundle in path.bundles:
             link = bundle.select(demand_gbps, policy)
             if link is None:
                 return None
@@ -179,8 +343,9 @@ class NetworkFabric:
         return Circuit(
             links=tuple(chosen),
             demand_gbps=demand_gbps,
-            switch_ports=ports,
-            intra_rack=intra,
+            switch_ports=path.switch_ports,
+            intra_rack=path.intra_rack,
+            lca_level=path.lca_level,
         )
 
     def allocate_flows(
@@ -240,11 +405,10 @@ class NetworkFabric:
     # ------------------------------------------------------------------ #
 
     def _iter_links(self) -> Iterator[Link]:
-        """Every link in a deterministic order (box bundles, then rack)."""
-        for bundle in self._box_bundles.values():
-            yield from bundle.links
-        for bundle in self._rack_bundles.values():
-            yield from bundle.links
+        """Every link in a deterministic order (tier-major, node order)."""
+        for tier_bundles in self._bundles:
+            for bundle in tier_bundles.values():
+                yield from bundle.links
 
     def snapshot(self) -> tuple[float, ...]:
         """Capture per-link reserved bandwidth; restorable and comparable."""
@@ -262,33 +426,45 @@ class NetworkFabric:
             raise TopologyError("snapshot shape does not match fabric")
         for link, used in zip(links, snap):
             link.set_used(used)
-        self._tier_used = {LinkTier.INTRA_RACK: 0.0, LinkTier.INTER_RACK: 0.0}
+        self._tier_used = {tier: 0.0 for tier in self._tiers}
         for link in links:
             self._tier_used[link.tier] += link.used_gbps
 
     # ------------------------------------------------------------------ #
-    # Utilization (Figure 8 quantities)
+    # Utilization (Figure 8 quantities, per tier)
     # ------------------------------------------------------------------ #
 
-    def tier_capacity_gbps(self, tier: LinkTier) -> float:
+    def _tier_key(self, tier: TierId) -> TierId:
+        if tier not in self._tier_capacity:
+            raise TopologyError(
+                f"fabric has no tier {tier!r}; tiers are {list(self._tiers)}"
+            )
+        return tier
+
+    def tier_capacity_gbps(self, tier: TierId) -> float:
         """Aggregate capacity of one link tier."""
-        return self._tier_capacity[tier]
+        return self._tier_capacity[self._tier_key(tier)]
 
-    def tier_used_gbps(self, tier: LinkTier) -> float:
+    def tier_used_gbps(self, tier: TierId) -> float:
         """Aggregate reserved bandwidth of one link tier (O(1))."""
-        return self._tier_used[tier]
+        return self._tier_used[self._tier_key(tier)]
 
-    def tier_utilization(self, tier: LinkTier) -> float:
+    def tier_utilization(self, tier: TierId) -> float:
         """Fraction of one tier's capacity currently reserved."""
+        tier = self._tier_key(tier)
         cap = self._tier_capacity[tier]
         if cap == 0:
             return 0.0
         return self._tier_used[tier] / cap
 
+    def tier_utilizations(self) -> dict[TierId, float]:
+        """Utilization of every tier, leaf tier first."""
+        return {tier: self.tier_utilization(tier) for tier in self._tiers}
+
     def intra_rack_utilization(self) -> float:
-        """Intra-rack (box<->rack-switch) tier utilization."""
-        return self.tier_utilization(LinkTier.INTRA_RACK)
+        """Leaf-tier (box<->rack-switch) utilization."""
+        return self.tier_utilization(self._tiers[0])
 
     def inter_rack_utilization(self) -> float:
-        """Inter-rack (rack-switch<->inter-rack-switch) tier utilization."""
-        return self.tier_utilization(LinkTier.INTER_RACK)
+        """Top-tier (highest aggregation stage) utilization."""
+        return self.tier_utilization(self._tiers[-1])

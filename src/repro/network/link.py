@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import NetworkAllocationError
-from ..types import LinkTier
+from ..types import TierId
 
 #: Tolerance for floating-point bandwidth comparisons (Gb/s).
 BANDWIDTH_EPS = 1e-9
@@ -25,7 +25,7 @@ class Link:
     __slots__ = ("link_id", "tier", "capacity_gbps", "used_gbps", "a", "b", "_on_change")
 
     def __init__(
-        self, link_id: int, tier: LinkTier, capacity_gbps: float, a: str, b: str
+        self, link_id: int, tier: TierId, capacity_gbps: float, a: str, b: str
     ) -> None:
         if capacity_gbps <= 0:
             raise NetworkAllocationError(

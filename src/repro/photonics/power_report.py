@@ -1,9 +1,13 @@
 """Aggregate optical energy/power accounting for a scheduled workload.
 
 Figure 9 reports "power consumption for optical components": transceiver
-power plus total optical switch power (box + intra-rack + inter-rack).  We
-accumulate per-VM energy at assignment time (the lifetime is known) and
-report the workload's average optical power as total energy over makespan.
+power plus total optical switch power across every switch a circuit
+traverses (box + rack + inter-rack in the paper's two-tier fabric; box +
+rack + pod + spine on deeper hierarchies — each circuit carries the
+per-tier switch radices of its resolved path, so Equation (1) prices every
+aggregation stage with its own radix).  We accumulate per-VM energy at
+assignment time (the lifetime is known) and report the workload's average
+optical power as total energy over makespan.
 """
 
 from __future__ import annotations

@@ -6,6 +6,7 @@ from .extras import (
     BestFitGlobalScheduler,
     FirstFitRackScheduler,
     RandomScheduler,
+    RISAPodAffinityScheduler,
     WorstFitGlobalScheduler,
 )
 from .nalb import NALBRackAffinityScheduler, NALBScheduler
@@ -32,6 +33,7 @@ __all__ = [
     "PAPER_SCHEDULERS",
     "Placement",
     "RISABFScheduler",
+    "RISAPodAffinityScheduler",
     "RISAScheduler",
     "RandomScheduler",
     "Scheduler",

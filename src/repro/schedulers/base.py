@@ -59,6 +59,14 @@ class Placement:
         """True when CPU and RAM share a rack (the Figure 10 latency case)."""
         return self.cpu_rack == self.ram_rack
 
+    @property
+    def tier_distance(self) -> int:
+        """Locality of the whole VM in fabric tiers: the highest level any
+        of its circuits climbs (1 = same rack, 2 = crosses the rack tier,
+        3 = crosses pods, ...).  The N-tier generalization of the paper's
+        binary intra/inter-rack criterion."""
+        return max(circuit.lca_level for circuit in self.circuits)
+
 
 class Scheduler(abc.ABC):
     """Abstract online VM scheduler over a cluster + fabric pair."""

@@ -12,6 +12,9 @@ can attribute its wins:
   a load-spreading strawman.
 - :class:`RandomScheduler` — uniformly random feasible boxes per type:
   the no-information baseline.
+- :class:`RISAPodAffinityScheduler` — RISA whose inter-rack fallback stays
+  pod-local when it can: the tier-distance extension of RISA's locality
+  preference for pod/spine fabrics.
 """
 
 from __future__ import annotations
@@ -37,6 +40,56 @@ class FirstFitRackScheduler(RISAScheduler):
         placement = super().schedule(request)
         self._cursor = 0
         return placement
+
+
+class RISAPodAffinityScheduler(RISAScheduler):
+    """RISA with a pod-local inter-rack fallback (tier-distance locality).
+
+    The intra-rack pool walk is Algorithm 1 unchanged; only the
+    ``_fallback_allocate`` hook differs.  The SUPER_RACK fallback first
+    restricts itself to one pod at a time — walking pods round-robin from
+    the cursor's pod, so an inter-rack VM still spans as few fabric tiers
+    as possible — and only then retries the unrestricted SUPER_RACK.  On a
+    two-tier fabric (one pod) this is exactly RISA.
+    """
+
+    name = "risa_pod"
+
+    def _fallback_allocate(
+        self,
+        request: ResolvedRequest,
+        super_rack: dict[ResourceType, frozenset[int]],
+    ) -> Placement | None:
+        units = request.units
+        cluster = self.cluster
+        index = cluster.capacity_index
+        num_pods = cluster.num_pods
+        start_pod = cluster.pod_of_rack(self._cursor % cluster.num_racks)
+        for offset in range(num_pods):
+            pod = (start_pod + offset) % num_pods
+            if index is not None and any(
+                units.get(rtype) > 0
+                and index.pod_max_avail(rtype, pod) < units.get(rtype)
+                for rtype in RESOURCE_ORDER
+            ):
+                continue  # some slice fits no box in this pod: O(log n) skip
+            lo, hi = cluster.pod_rack_range(pod)
+            pod_racks = frozenset(range(lo, hi))
+            pod_filter = {
+                rtype: super_rack[rtype] & pod_racks for rtype in RESOURCE_ORDER
+            }
+            if any(
+                units.get(rtype) > 0 and not pod_filter[rtype]
+                for rtype in RESOURCE_ORDER
+            ):
+                continue
+            placement = self._fallback.allocate(request, rack_filter=pod_filter)
+            if placement is not None:
+                return placement
+        if num_pods > 1:
+            # Cross-pod last resort: the unrestricted SUPER_RACK fallback.
+            return super()._fallback_allocate(request, super_rack)
+        return None
 
 
 class _GlobalBoxScheduler(Scheduler):

@@ -5,8 +5,10 @@ NALB extends NULB in two ways (Section 4.1):
 1. *Modified BFS*: candidate boxes for the non-scarce slices are reordered
    in descending order of their available (uplink) bandwidth before the
    first-fit scan.  Under ``rack_affinity`` the home rack's boxes still come
-   first (bandwidth-sorted), then remote racks sorted by rack-uplink
-   availability; in the default global mode all boxes sort together by
+   first (bandwidth-sorted), then remote racks nearest fabric tiers first
+   and bandwidth-sorted within each tier distance (on the paper's two-tier
+   fabric every remote rack is equidistant, so this reduces to the plain
+   bandwidth sort); in the default global mode all boxes sort together by
    box-uplink availability (box id breaks ties deterministically).
 2. *Network phase*: circuits take the link with the most available bandwidth
    on every hop rather than the first that fits.
@@ -45,6 +47,30 @@ class NALBScheduler(NULBScheduler):
         """Available bandwidth on the rack's uplink bundle (sort key)."""
         return self.fabric.rack_bundle(rack_index).avail_gbps
 
+    def _remote_rack_order(
+        self, home_rack: int, rack_filter: frozenset[int] | None
+    ) -> list[int]:
+        """Remote racks for the rack-affinity search, nearest tiers first.
+
+        Racks sort by (tier distance from home, descending uplink
+        bandwidth, rack index) — the N-tier generalization of "remote racks
+        by available bandwidth".  On a two-tier fabric every remote rack is
+        equidistant, so the order reduces to the legacy bandwidth sort.
+        """
+        remote = [
+            rack.index
+            for rack in self.cluster.racks
+            if rack.index != home_rack
+            and (rack_filter is None or rack.index in rack_filter)
+        ]
+        remote.sort(
+            key=lambda index: (
+                self.fabric.rack_distance(home_rack, index),
+                -self._rack_bandwidth_key(index),
+            )
+        )
+        return remote
+
     def _best_bandwidth_box(
         self, index: CapacityIndex, rtype: ResourceType, units: int, rack_index: int
     ) -> Box | None:
@@ -78,14 +104,7 @@ class NALBScheduler(NULBScheduler):
         box = self._best_bandwidth_box(index, rtype, units, home_rack)
         if box is not None:
             return box
-        remote_racks = [
-            rack.index
-            for rack in self.cluster.racks
-            if rack.index != home_rack
-            and (rack_filter is None or rack.index in rack_filter)
-        ]
-        remote_racks.sort(key=self._rack_bandwidth_key, reverse=True)
-        for rack_index in remote_racks:
+        for rack_index in self._remote_rack_order(home_rack, rack_filter):
             box = self._best_bandwidth_box(index, rtype, units, rack_index)
             if box is not None:
                 return box
@@ -111,14 +130,7 @@ class NALBScheduler(NULBScheduler):
         ordered = sorted(
             self.cluster.rack(home_rack).boxes(rtype), key=self._box_sort_key
         )
-        remote_racks = [
-            rack.index
-            for rack in self.cluster.racks
-            if rack.index != home_rack
-            and (rack_filter is None or rack.index in rack_filter)
-        ]
-        remote_racks.sort(key=self._rack_bandwidth_key, reverse=True)
-        for rack_index in remote_racks:
+        for rack_index in self._remote_rack_order(home_rack, rack_filter):
             ordered.extend(
                 sorted(self.cluster.rack(rack_index).boxes(rtype), key=self._box_sort_key)
             )

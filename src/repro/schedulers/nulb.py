@@ -58,16 +58,23 @@ class NULBScheduler(Scheduler):
         home_rack: int,
         rack_filter: frozenset[int] | None,
     ) -> Iterable[Box]:
-        """Boxes considered for a non-scarce slice, in search order."""
+        """Boxes considered for a non-scarce slice, in search order.
+
+        The rack-affinity BFS walks outward by tier distance: the home rack
+        first, then the rings the fabric hierarchy defines (same pod, same
+        spine group, ...), racks in index order within each ring.  A
+        two-tier fabric has a single ring holding every remote rack, which
+        is exactly the legacy "home rack, then global frontier" order.
+        """
         if self.rack_affinity:
             for box in self.cluster.rack(home_rack).boxes(rtype):
                 yield box
-            for box in self.cluster.boxes(rtype):
-                if box.rack_index == home_rack:
-                    continue
-                if rack_filter is not None and box.rack_index not in rack_filter:
-                    continue
-                yield box
+            for ring in self.fabric.rack_rings(home_rack):
+                for lo, hi in ring:
+                    for rack_index in range(lo, hi):
+                        if rack_filter is not None and rack_index not in rack_filter:
+                            continue
+                        yield from self.cluster.rack(rack_index).boxes(rtype)
             return
         for box in self.cluster.boxes(rtype):
             if rack_filter is not None and box.rack_index not in rack_filter:
@@ -110,14 +117,19 @@ class NULBScheduler(Scheduler):
             )
         if not self.rack_affinity:
             return index.first_fit_in_racks(rtype, units, rack_filter)
-        # Text-faithful BFS: the scarce slice's rack first (unfiltered, as in
-        # the naive candidate order), then the global frontier without it.
+        # Text-faithful BFS: the scarce slice's rack first (unfiltered, as
+        # in the naive candidate order), then outward ring by ring — each
+        # ring is a handful of contiguous rack ranges, answered by one
+        # O(log n) segment-tree query per run.  Two-tier fabrics have a
+        # single ring (every remote rack), the legacy frontier.
         box = index.first_fit_in_rack(rtype, units, home_rack)
         if box is not None:
             return box
-        return index.first_fit_in_racks(
-            rtype, units, rack_filter, exclude_rack=home_rack
-        )
+        for ring in self.fabric.rack_rings(home_rack):
+            box = index.first_fit_in_rack_runs(rtype, units, ring, rack_filter)
+            if box is not None:
+                return box
+        return None
 
     # ------------------------------------------------------------------ #
     # Core allocation (shared with RISA's fallback)

@@ -17,6 +17,7 @@ from .extras import (
     BestFitGlobalScheduler,
     FirstFitRackScheduler,
     RandomScheduler,
+    RISAPodAffinityScheduler,
     WorstFitGlobalScheduler,
 )
 from .nalb import NALBRackAffinityScheduler, NALBScheduler
@@ -34,6 +35,7 @@ _REGISTRY: dict[str, type[Scheduler]] = {
         NALBRackAffinityScheduler,
         RISAScheduler,
         RISABFScheduler,
+        RISAPodAffinityScheduler,
         FirstFitRackScheduler,
         BestFitGlobalScheduler,
         WorstFitGlobalScheduler,

@@ -94,23 +94,32 @@ class RISAScheduler(Scheduler):
         """Round-robin over INTRA_RACK_POOL, else NULB over SUPER_RACK."""
         units = request.units
         num_racks = self.cluster.num_racks
-        pool_nonempty = False
         for offset in range(num_racks):
             rack = self.cluster.rack((self._cursor + offset) % num_racks)
             if not rack.can_host(units):
                 continue
-            pool_nonempty = True
             placement = self._try_rack(rack, request)
             if placement is not None:
                 self._cursor = (rack.index + 1) % num_racks
                 return placement
         # Pool empty, or every pool rack failed on network capacity: build
-        # SUPER_RACK and fall back to NULB restricted to it (Algorithm 1).
-        del pool_nonempty  # fallback is identical either way
+        # SUPER_RACK and fall back to the inter-rack path (Algorithm 1).
         super_rack = self._super_rack(request)
         for rtype in RESOURCE_ORDER:
             if units.get(rtype) > 0 and not super_rack[rtype]:
                 return None
+        return self._fallback_allocate(request, super_rack)
+
+    def _fallback_allocate(
+        self,
+        request: ResolvedRequest,
+        super_rack: dict[ResourceType, frozenset[int]],
+    ) -> Placement | None:
+        """The inter-rack assignment step: NULB restricted to SUPER_RACK.
+
+        Subclasses override this hook to reshape the fallback (e.g. the
+        pod-local variant) without duplicating the pool walk above.
+        """
         return self._fallback.allocate(request, rack_filter=super_rack)
 
     def _super_rack(

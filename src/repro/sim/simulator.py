@@ -83,6 +83,7 @@ class DDCSimulator:
         fabric: NetworkFabric | None = None,
         event_log: EventLog | None = None,
         engine: str | None = None,
+        keep_records: bool = True,
     ) -> None:
         self.spec = spec
         self.cluster = cluster if cluster is not None else build_cluster(spec)
@@ -95,7 +96,11 @@ class DDCSimulator:
                     "scheduler instance must share the simulator's cluster/fabric"
                 )
             self.scheduler = scheduler
-        self.collector = MetricsCollector(spec, self.cluster, self.fabric)
+        # keep_records=False trades per-VM records for O(1) metric memory —
+        # the sweep-workload mode (summaries stay exact either way).
+        self.collector = MetricsCollector(
+            spec, self.cluster, self.fabric, keep_records=keep_records
+        )
         self.event_log = event_log
         self.engine = default_engine() if engine is None else engine
         if self.engine not in ENGINES:
@@ -243,6 +248,7 @@ def simulate(
     scheduler: str,
     vms: Iterable[VMRequest],
     engine: str | None = None,
+    keep_records: bool = True,
 ) -> SimulationResult:
     """One-shot convenience wrapper: fresh cluster, run, summarize."""
-    return DDCSimulator(spec, scheduler, engine=engine).run(vms)
+    return DDCSimulator(spec, scheduler, engine=engine, keep_records=keep_records).run(vms)

@@ -4,6 +4,11 @@ Global box ids are assigned rack-major: rack 0's boxes (CPU boxes, then RAM,
 then storage, each in index order), then rack 1's, etc.  Within a resource
 type this yields exactly the "first box" ordering Table 3 uses (rack 0 box 0,
 rack 0 box 1, rack 1 box 0, ...).
+
+Pod grouping comes from the spec's fabric topology: each rack's pod is its
+level-2 ancestor in the tier chain, so a two-tier fabric (the paper default)
+puts every rack in pod 0 while pod/spine hierarchies partition racks into
+contiguous pods.
 """
 
 from __future__ import annotations
@@ -42,9 +47,15 @@ def _make_bricks(ddc: DDCConfig, rtype: ResourceType) -> list[Brick]:
 
 
 def build_cluster(spec: ClusterSpec) -> Cluster:
-    """Build the rack/box/brick hierarchy described by ``spec.ddc``."""
+    """Build the rack/box/brick hierarchy described by ``spec.ddc``,
+    with pod membership taken from ``spec.network``'s fabric topology."""
     ddc = spec.ddc
-    racks = [Rack(index=r) for r in range(ddc.num_racks)]
+    topology = spec.network.fabric_topology()
+    topology.node_counts(ddc.num_racks)  # validates the chain converges
+    racks = [
+        Rack(index=r, pod_index=topology.rack_ancestors(r)[1])
+        for r in range(ddc.num_racks)
+    ]
     cluster = Cluster.__new__(Cluster)  # wire callbacks before registration
     next_id = 0
     for rack in racks:

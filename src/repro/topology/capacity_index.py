@@ -358,6 +358,7 @@ class _TypeIndex:
         "boxes",
         "pos_by_id",
         "rack_spans",
+        "pod_spans",
         "tree",
         "max_value",
         "buckets",
@@ -365,7 +366,12 @@ class _TypeIndex:
         "buckets_active",
     )
 
-    def __init__(self, boxes: List["Box"], num_racks: int) -> None:
+    def __init__(
+        self,
+        boxes: List["Box"],
+        num_racks: int,
+        pod_rack_ranges: tuple[tuple[int, int], ...] = (),
+    ) -> None:
         self.boxes = boxes
         self.pos_by_id = {box.box_id: pos for pos, box in enumerate(boxes)}
         spans: list[tuple[int, int]] = []
@@ -376,11 +382,20 @@ class _TypeIndex:
                 cursor += 1
             spans.append((start, cursor))
         self.rack_spans = spans
+        self.pod_spans = [
+            self.rack_range_span(lo, hi) for lo, hi in pod_rack_ranges
+        ] or [(0, len(boxes))]
         self.tree = MaxSegmentTree([b.avail_units for b in boxes], neutral=-1)
         self.max_value = max((b.capacity_units for b in boxes), default=0)
         self.buckets: list[list[int]] = [[] for _ in range(self.max_value + 1)]
         self.value_tree = MaxSegmentTree([0] * (self.max_value + 1), neutral=0)
         self.buckets_active = False
+
+    def rack_range_span(self, rack_lo: int, rack_hi: int) -> tuple[int, int]:
+        """Box-position span covering the contiguous racks ``[lo, hi)``."""
+        if rack_lo >= rack_hi:
+            return (0, 0)
+        return (self.rack_spans[rack_lo][0], self.rack_spans[rack_hi - 1][1])
 
     def rebuild(self) -> None:
         """Recompute every structure from current box state in O(n)."""
@@ -429,8 +444,9 @@ class CapacityIndex:
 
     def __init__(self, cluster: "Cluster") -> None:
         num_racks = cluster.num_racks
+        pod_ranges = cluster.pod_rack_ranges()
         self._types = {
-            rtype: _TypeIndex(cluster.boxes(rtype), num_racks)
+            rtype: _TypeIndex(cluster.boxes(rtype), num_racks, pod_ranges)
             for rtype in RESOURCE_ORDER
         }
 
@@ -508,6 +524,77 @@ class CapacityIndex:
             if pos is not None:
                 return tindex.boxes[pos]
         return None
+
+    def first_fit_in_rack_runs(
+        self,
+        rtype: ResourceType,
+        units: int,
+        runs: Iterable[tuple[int, int]],
+        rack_filter: Optional[frozenset[int]] = None,
+    ) -> Optional["Box"]:
+        """Leftmost fitting box over ordered contiguous rack ranges.
+
+        ``runs`` holds ``(rack_lo, rack_hi)`` ranges scanned in the given
+        order — the tier-distance rings of a hierarchical search.  With a
+        ``rack_filter`` each run decomposes into its allowed sub-runs
+        (preserving rack order), so a filtered ring still costs O(log n)
+        per contiguous allowed stretch.
+        """
+        tindex = self._types[rtype]
+        tree = tindex.tree
+        for rack_lo, rack_hi in runs:
+            if rack_filter is None:
+                lo, hi = tindex.rack_range_span(rack_lo, rack_hi)
+                pos = tree.leftmost_at_least(units, lo, hi)
+                if pos is not None:
+                    return tindex.boxes[pos]
+                continue
+            run_lo: Optional[int] = None
+            run_hi = rack_lo
+            for rack_index in range(rack_lo, rack_hi):
+                if rack_index in rack_filter:
+                    if run_lo is None:
+                        run_lo = rack_index
+                    run_hi = rack_index + 1
+                    continue
+                if run_lo is not None:
+                    lo, hi = tindex.rack_range_span(run_lo, run_hi)
+                    pos = tree.leftmost_at_least(units, lo, hi)
+                    if pos is not None:
+                        return tindex.boxes[pos]
+                    run_lo = None
+            if run_lo is not None:
+                lo, hi = tindex.rack_range_span(run_lo, run_hi)
+                pos = tree.leftmost_at_least(units, lo, hi)
+                if pos is not None:
+                    return tindex.boxes[pos]
+        return None
+
+    def first_fit_in_pod(
+        self, rtype: ResourceType, units: int, pod_index: int
+    ) -> Optional["Box"]:
+        """Leftmost fitting box of ``rtype`` within one pod."""
+        tindex = self._types[rtype]
+        lo, hi = tindex.pod_spans[pod_index]
+        pos = tindex.tree.leftmost_at_least(units, lo, hi)
+        return None if pos is None else tindex.boxes[pos]
+
+    def best_fit_in_pod(
+        self, rtype: ResourceType, units: int, pod_index: int
+    ) -> Optional["Box"]:
+        """Smallest sufficient availability within one pod (ties -> lowest
+        position)."""
+        tindex = self._types[rtype]
+        lo, hi = tindex.pod_spans[pod_index]
+        pos = tindex.tree.best_fit_in_range(units, lo, hi)
+        return None if pos is None else tindex.boxes[pos]
+
+    def pod_max_avail(self, rtype: ResourceType, pod_index: int) -> int:
+        """Largest single-box availability of ``rtype`` in one pod."""
+        tindex = self._types[rtype]
+        lo, hi = tindex.pod_spans[pod_index]
+        best = tindex.tree.range_max(lo, hi)
+        return best if best > 0 else 0
 
     def best_fit(self, rtype: ResourceType, units: int) -> Optional["Box"]:
         """Smallest sufficient availability anywhere; ties -> lowest box id."""

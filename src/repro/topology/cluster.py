@@ -25,6 +25,7 @@ class Cluster:
         "_total_avail",
         "_total_capacity",
         "_capacity_index",
+        "_pod_rack_ranges",
     )
 
     def __init__(self, racks: list[Rack]) -> None:
@@ -39,9 +40,34 @@ class Cluster:
             for rtype in RESOURCE_ORDER:
                 for box in rack.boxes(rtype):
                     self._register_box(box)
+        self._pod_rack_ranges = self._derive_pod_ranges(racks)
         self._capacity_index = CapacityIndex(self) if index_enabled() else None
         for rack in racks:
             rack.bind_capacity_index(self._capacity_index)
+
+    @staticmethod
+    def _derive_pod_ranges(racks: list[Rack]) -> tuple[tuple[int, int], ...]:
+        """Contiguous rack-index ranges per pod, from the racks' pod ids.
+
+        Pods must partition the rack order into contiguous runs with pod
+        ids 0, 1, 2, ... — the shape every fabric topology produces.  Racks
+        built outside a topology (all ``pod_index`` 0) form a single pod.
+        """
+        ranges: list[tuple[int, int]] = []
+        for i, rack in enumerate(racks):
+            pod = rack.pod_index
+            if pod == len(ranges):  # next pod starts at this rack
+                if ranges:
+                    ranges[-1] = (ranges[-1][0], i)
+                ranges.append((i, len(racks)))
+            elif pod != len(ranges) - 1:
+                raise TopologyError(
+                    f"rack {rack.index} has pod {pod}; pods must be "
+                    "contiguous runs numbered from 0"
+                )
+        if not ranges:
+            ranges.append((0, len(racks)))
+        return tuple(ranges)
 
     def _register_box(self, box: Box) -> None:
         if box.box_id in self._box_by_id:
@@ -59,6 +85,31 @@ class Cluster:
     def num_racks(self) -> int:
         """Number of racks in the cluster."""
         return len(self.racks)
+
+    @property
+    def num_pods(self) -> int:
+        """Number of pods (level-2 fabric groups); 1 under a two-tier fabric."""
+        return len(self._pod_rack_ranges)
+
+    def pod_rack_range(self, pod_index: int) -> tuple[int, int]:
+        """The contiguous ``[lo, hi)`` rack-index range of one pod."""
+        try:
+            return self._pod_rack_ranges[pod_index]
+        except IndexError:
+            raise TopologyError(f"no pod with index {pod_index}") from None
+
+    def pod_rack_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Every pod's rack-index range, in pod order."""
+        return self._pod_rack_ranges
+
+    def pod_racks(self, pod_index: int) -> list[Rack]:
+        """The racks of one pod, in rack-index order."""
+        lo, hi = self.pod_rack_range(pod_index)
+        return self.racks[lo:hi]
+
+    def pod_of_rack(self, rack_index: int) -> int:
+        """The pod a rack belongs to."""
+        return self.racks[rack_index].pod_index
 
     @property
     def capacity_index(self) -> CapacityIndex | None:

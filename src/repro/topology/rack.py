@@ -23,10 +23,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Rack:
     """A rack: per-type box lists plus availability aggregates."""
 
-    __slots__ = ("index", "_boxes_by_type", "_max_avail", "_total_avail", "_capacity_index")
+    __slots__ = (
+        "index",
+        "pod_index",
+        "_boxes_by_type",
+        "_max_avail",
+        "_total_avail",
+        "_capacity_index",
+    )
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, pod_index: int = 0) -> None:
         self.index = index
+        #: Which pod (level-2 fabric group) this rack belongs to.  The
+        #: builder assigns it from the fabric topology; two-tier fabrics
+        #: put every rack in pod 0 (the whole cluster is one pod).
+        self.pod_index = pod_index
         self._boxes_by_type: dict[ResourceType, list[Box]] = {
             t: [] for t in RESOURCE_ORDER
         }

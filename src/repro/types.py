@@ -49,12 +49,67 @@ class SwitchTier(enum.Enum):
     INTER_RACK = "inter_rack"
 
 
-class LinkTier(enum.Enum):
-    """Link tiers: box<->rack-switch links are *intra-rack*, rack-switch<->
-    inter-rack-switch links are *inter-rack* (Figure 3)."""
+class TierId:
+    """Identity of one link tier in an N-tier fabric.
 
-    INTRA_RACK = "intra_rack"
-    INTER_RACK = "inter_rack"
+    ``level`` counts aggregation hops from the leaves: level 0 links connect
+    box switches to rack switches, level 1 connects rack switches to the
+    next aggregation stage, and so on up to the root.  Instances are
+    interned — ``TierId(0, "intra_rack")`` always returns the same object —
+    so identity comparisons (``link.tier is tier``), equality, and dict
+    lookups all behave exactly like the enum members this class replaces,
+    and the legacy two-tier constants below keep working against any fabric
+    whose topology names its tiers the same way.
+    """
+
+    __slots__ = ("level", "name")
+
+    _interned: "dict[tuple[int, str], TierId]" = {}
+
+    def __new__(cls, level: int, name: str) -> "TierId":
+        key = (level, name)
+        inst = cls._interned.get(key)
+        if inst is None:
+            inst = super().__new__(cls)
+            inst.level = level
+            inst.name = name
+            cls._interned[key] = inst
+        return inst
+
+    @property
+    def value(self) -> str:
+        """The tier name (kept for compatibility with the old enum API)."""
+        return self.name
+
+    def __reduce__(self):
+        # Re-intern on unpickle so identity semantics survive process pools.
+        return (type(self), (self.level, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TierId({self.level}, {self.name!r})"
+
+
+class _LinkTierMeta(type):
+    """Makes ``for tier in LinkTier`` iterate the two legacy tiers."""
+
+    def __iter__(cls):
+        return iter((cls.INTRA_RACK, cls.INTER_RACK))
+
+    def __len__(cls) -> int:
+        return 2
+
+
+class LinkTier(metaclass=_LinkTierMeta):
+    """The paper's two link tiers, as :class:`TierId` constants.
+
+    Box<->rack-switch links are *intra-rack*, rack-switch<->inter-rack-
+    switch links are *inter-rack* (Figure 3).  Deeper hierarchies mint their
+    own :class:`TierId` values from the fabric topology; this shim exists so
+    two-tier call sites (and the paper's figures) keep their spelling.
+    """
+
+    INTRA_RACK = TierId(0, "intra_rack")
+    INTER_RACK = TierId(1, "inter_rack")
 
 
 @dataclass(frozen=True, slots=True)

@@ -58,6 +58,23 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["simulate", "risa", "--workload", "gcp-9000"])
 
+    def test_topology_default_preset(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "'paper'" in out
+        assert "intra_rack" in out and "inter_rack" in out
+        assert "oversub" in out
+
+    def test_topology_pod_preset(self, capsys):
+        assert main(["topology", "pod-scale"]) == 0
+        out = capsys.readouterr().out
+        assert "spine" in out and "pod" in out
+        assert "4 pod(s)" in out
+
+    def test_topology_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "nonesuch"])
+
 
 class TestNewCommands:
     def test_heatmap(self, capsys):

@@ -1,0 +1,145 @@
+"""Tests for the FabricTopology / TierSpec schema and the TierId identity."""
+
+import pickle
+
+import pytest
+
+from repro.config import (
+    FabricTopology,
+    NetworkConfig,
+    TierSpec,
+    validate_benes_radix,
+)
+from repro.config.serialization import (
+    network_from_dict,
+    network_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.config import pod_scale, tiny_pod_test
+from repro.errors import ConfigurationError
+from repro.types import LinkTier, TierId
+
+
+def three_tier(racks_per_pod=3):
+    return FabricTopology(
+        tiers=(
+            TierSpec(name="intra_rack", uplinks=8, switch_ports=256),
+            TierSpec(name="pod", uplinks=16, switch_ports=512, group_size=racks_per_pod),
+            TierSpec(name="spine", uplinks=32, switch_ports=1024),
+        ),
+    )
+
+
+class TestTierId:
+    def test_interned_identity(self):
+        assert TierId(0, "intra_rack") is TierId(0, "intra_rack")
+        assert TierId(0, "intra_rack") is not TierId(1, "intra_rack")
+
+    def test_legacy_constants_match_two_tier_topology(self):
+        topo = NetworkConfig().fabric_topology()
+        assert topo.tier_id(0) is LinkTier.INTRA_RACK
+        assert topo.tier_id(1) is LinkTier.INTER_RACK
+
+    def test_enum_compat_surface(self):
+        assert LinkTier.INTRA_RACK.value == "intra_rack"
+        assert list(LinkTier) == [LinkTier.INTRA_RACK, LinkTier.INTER_RACK]
+        assert len(LinkTier) == 2
+
+    def test_pickle_reinterns(self):
+        tier = TierId(2, "spine")
+        assert pickle.loads(pickle.dumps(tier)) is tier
+
+
+class TestValidation:
+    def test_radix_helper_names_the_offender(self):
+        with pytest.raises(ConfigurationError, match="tier 'pod' switch_ports"):
+            TierSpec(name="pod", uplinks=4, switch_ports=100, group_size=2)
+        with pytest.raises(ConfigurationError, match="my_field"):
+            validate_benes_radix(3, "my_field")
+        assert validate_benes_radix(64, "ok") == 64
+
+    def test_tier_needs_positive_uplinks(self):
+        with pytest.raises(ConfigurationError, match="uplink"):
+            TierSpec(name="pod", uplinks=0, switch_ports=64)
+
+    def test_tier0_group_size_must_be_none(self):
+        with pytest.raises(ConfigurationError, match="box->rack"):
+            FabricTopology(
+                tiers=(
+                    TierSpec(name="intra_rack", uplinks=8, switch_ports=256, group_size=2),
+                    TierSpec(name="inter_rack", uplinks=8, switch_ports=512),
+                )
+            )
+
+    def test_at_least_two_tiers(self):
+        with pytest.raises(ConfigurationError, match="at least 2 tiers"):
+            FabricTopology(tiers=(TierSpec(name="only", uplinks=8, switch_ports=64),))
+
+    def test_tier_names_unique(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            FabricTopology(
+                tiers=(
+                    TierSpec(name="t", uplinks=8, switch_ports=256),
+                    TierSpec(name="t", uplinks=8, switch_ports=512),
+                )
+            )
+
+    def test_non_converging_chain_names_last_tier(self):
+        topo = FabricTopology(
+            tiers=(
+                TierSpec(name="intra_rack", uplinks=8, switch_ports=256),
+                TierSpec(name="pod", uplinks=8, switch_ports=512, group_size=2),
+                TierSpec(name="spine", uplinks=8, switch_ports=512, group_size=2),
+            )
+        )
+        # 8 racks -> 4 pods -> 2 spine groups: no single root.
+        with pytest.raises(ConfigurationError, match="'spine'"):
+            topo.node_counts(8)
+        # 4 racks -> 2 pods -> 1 root: fine.
+        assert topo.node_counts(4) == (4, 2, 1)
+
+
+class TestDerivedShape:
+    def test_two_tier_matches_legacy_fields(self):
+        net = NetworkConfig(box_uplinks=4, rack_uplinks=10, link_bandwidth_gbps=100.0)
+        topo = net.fabric_topology()
+        assert topo.num_tiers == 2
+        assert topo.tiers[0].uplinks == 4
+        assert topo.tiers[1].uplinks == 10
+        assert topo.tier_link_bandwidth_gbps(0) == 100.0
+        assert topo.switch_ports_at(0) == 64
+        assert topo.switch_ports_at(1) == 256
+        assert topo.switch_ports_at(2) == 512
+        assert topo.node_counts(18) == (18, 1)
+
+    def test_rack_ancestors(self):
+        topo = three_tier(racks_per_pod=3)
+        assert topo.rack_ancestors(0) == (0, 0, 0)
+        assert topo.rack_ancestors(5) == (5, 1, 0)
+        assert topo.node_counts(9) == (9, 3, 1)
+
+    def test_tier_ids(self):
+        topo = three_tier()
+        assert [t.level for t in topo.tier_ids] == [0, 1, 2]
+        assert [t.name for t in topo.tier_ids] == ["intra_rack", "pod", "spine"]
+
+    def test_explicit_topology_wins(self):
+        topo = three_tier()
+        net = NetworkConfig(topology=topo)
+        assert net.fabric_topology() is topo
+
+
+class TestSerialization:
+    def test_topology_round_trip(self):
+        net = NetworkConfig(topology=three_tier())
+        assert network_from_dict(network_to_dict(net)) == net
+
+    def test_legacy_dict_without_topology_key_loads(self):
+        data = network_to_dict(NetworkConfig())
+        data.pop("topology")
+        assert network_from_dict(data) == NetworkConfig()
+
+    def test_pod_presets_round_trip(self):
+        for spec in (pod_scale(), tiny_pod_test()):
+            assert spec_from_dict(spec_to_dict(spec)) == spec

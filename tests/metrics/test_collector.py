@@ -86,3 +86,80 @@ def test_gauge_names(env):
     assert set(collector.gauge_names()) == {
         "intra_net", "inter_net", "cpu", "ram", "storage"
     }
+
+
+def test_net_gauge_names_two_tier(env):
+    *_, collector = env
+    assert collector.net_gauge_names() == ("intra_net", "inter_net")
+
+
+def test_tier_gauges_on_three_tier_fabric():
+    from repro.config import tiny_pod_test
+
+    spec = tiny_pod_test()
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    collector = MetricsCollector(spec, cluster, fabric)
+    assert collector.net_gauge_names() == ("intra_net", "pod_net", "inter_net")
+    assert set(collector.gauge_names()) == {
+        "intra_net", "pod_net", "inter_net", "cpu", "ram", "storage"
+    }
+
+
+class TestRecordRetention:
+    def test_keep_records_false_accumulates_no_records(self, env):
+        spec, cluster, fabric, scheduler, _ = env
+        collector = MetricsCollector(spec, cluster, fabric, keep_records=False)
+        placement = scheduler.schedule(small_request(spec))
+        collector.record_assignment(placement, now=1.0)
+        collector.record_drop(small_request(spec, vm_id=1), now=2.0)
+        assert collector.records == []
+        assert collector.total_requests == 2
+        assert collector.scheduled_count == 1
+        assert collector.latency_count == 1
+
+    def test_record_free_summary_matches_recorded(self, env):
+        from repro.metrics import summarize
+
+        spec, cluster, fabric, scheduler, recorded = env
+        lean = MetricsCollector(spec, cluster, fabric, keep_records=False)
+        placements = []
+        for vm_id in range(3):
+            placement = scheduler.schedule(small_request(spec, vm_id=vm_id))
+            placements.append(placement)
+            for collector in (recorded, lean):
+                collector.record_assignment(placement, now=float(vm_id))
+        for placement in placements:
+            scheduler.release(placement)
+        for collector in (recorded, lean):
+            collector.record_release(now=10.0)
+        full = summarize("risa", recorded).as_dict()
+        slim = summarize("risa", lean).as_dict()
+        assert full == slim
+
+    def test_reset_clears_tallies(self, env):
+        spec, cluster, fabric, scheduler, _ = env
+        collector = MetricsCollector(spec, cluster, fabric, keep_records=False)
+        collector.record_drop(small_request(spec), now=1.0)
+        collector.reset()
+        assert collector.total_requests == 0
+        assert collector.latency_sum_ns == 0.0
+
+    def test_simulator_plumbs_keep_records(self):
+        from repro.config import tiny_test
+        from repro.sim import DDCSimulator, simulate
+        from tests.conftest import make_vm
+
+        vms = [
+            make_vm(vm_id=i, arrival=float(i), lifetime=20.0, cpu_cores=4,
+                    ram_gb=4.0, storage_gb=64.0)
+            for i in range(5)
+        ]
+        lean = simulate(tiny_test(), "risa", vms, keep_records=False)
+        full = DDCSimulator(tiny_test(), "risa").run(vms)
+        assert lean.records == ()
+        assert len(full.records) == 5
+        assert lean.summary.scheduled_vms == full.summary.scheduled_vms
+        assert lean.summary.avg_cpu_ram_latency_ns == pytest.approx(
+            full.summary.avg_cpu_ram_latency_ns
+        )

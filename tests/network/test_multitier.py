@@ -1,0 +1,238 @@
+"""Tests for the N-tier fabric: LCA paths, pod queries, snapshot/restore.
+
+``tiny_pod_test()`` is the workhorse: 2 pods x 2 racks under a spine, three
+link tiers, 2 uplinks per bundle — small enough to exhaust by hand.
+"""
+
+import pytest
+
+from repro.config import tiny_pod_test
+from repro.errors import NetworkAllocationError, TopologyError
+from repro.network import NetworkFabric
+from repro.topology import build_cluster
+from repro.types import ResourceType, TierId
+
+INTRA = TierId(0, "intra_rack")
+POD = TierId(1, "pod")
+SPINE = TierId(2, "spine")
+
+
+@pytest.fixture
+def env():
+    spec = tiny_pod_test()  # racks 0,1 in pod 0; racks 2,3 in pod 1
+    cluster = build_cluster(spec)
+    fabric = NetworkFabric(spec, cluster)
+    return spec, cluster, fabric
+
+
+def box_in_rack(cluster, rtype, rack):
+    return [b for b in cluster.boxes(rtype) if b.rack_index == rack][0]
+
+
+class TestHierarchy:
+    def test_tiers(self, env):
+        _, _, fabric = env
+        assert fabric.tiers == (INTRA, POD, SPINE)
+        assert fabric.num_tiers == 3
+
+    def test_pod_membership(self, env):
+        _, cluster, _ = env
+        assert cluster.num_pods == 2
+        assert cluster.pod_rack_range(0) == (0, 2)
+        assert cluster.pod_rack_range(1) == (2, 4)
+        assert cluster.pod_of_rack(1) == 0
+        assert cluster.pod_of_rack(2) == 1
+        assert [r.index for r in cluster.pod_racks(1)] == [2, 3]
+        with pytest.raises(TopologyError):
+            cluster.pod_rack_range(2)
+
+    def test_rack_distance(self, env):
+        _, _, fabric = env
+        assert fabric.rack_distance(0, 0) == 1
+        assert fabric.rack_distance(0, 1) == 2  # same pod
+        assert fabric.rack_distance(0, 2) == 3  # across pods
+        assert fabric.rack_distance(3, 0) == 3
+
+    def test_tier_distance_between_boxes(self, env):
+        _, cluster, fabric = env
+        cpu0 = box_in_rack(cluster, ResourceType.CPU, 0)
+        assert fabric.tier_distance(cpu0.box_id, cpu0.box_id) == 0
+        ram0 = box_in_rack(cluster, ResourceType.RAM, 0)
+        assert fabric.tier_distance(cpu0.box_id, ram0.box_id) == 1
+        ram1 = box_in_rack(cluster, ResourceType.RAM, 1)
+        assert fabric.tier_distance(cpu0.box_id, ram1.box_id) == 2
+        ram3 = box_in_rack(cluster, ResourceType.RAM, 3)
+        assert fabric.tier_distance(cpu0.box_id, ram3.box_id) == 3
+
+    def test_rack_rings(self, env):
+        _, _, fabric = env
+        # Rack 0: ring 1 = rack 1 (same pod), ring 2 = racks 2-3 (other pod).
+        assert fabric.rack_rings(0) == (((1, 2),), ((2, 4),))
+        # Rack 1: the same-pod ring sits left of home.
+        assert fabric.rack_rings(1) == (((0, 1),), ((2, 4),))
+        assert fabric.rack_rings(2) == (((3, 4),), ((0, 2),))
+
+
+class TestPaths:
+    def test_same_pod_path(self, env):
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 1)
+        path = fabric.resolve_path(cpu.box_id, ram.box_id)
+        assert path.lca_level == 2
+        assert not path.intra_rack
+        assert len(path.bundles) == 4
+        assert path.switch_ports == (64, 256, 512, 256, 64)
+
+    def test_cross_pod_path(self, env):
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 2)
+        path = fabric.resolve_path(cpu.box_id, ram.box_id)
+        assert path.lca_level == 3
+        assert len(path.bundles) == 6
+        assert path.switch_ports == (64, 256, 512, 512, 512, 256, 64)
+
+    def test_intra_rack_path_unchanged(self, env):
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 0)
+        bundles, ports, intra = fabric.path_bundles(cpu.box_id, ram.box_id)
+        assert intra and len(bundles) == 2 and ports == (64, 256, 64)
+
+    def test_cross_pod_circuit_uses_all_tiers(self, env):
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 3)
+        circuit = fabric.allocate_flow(cpu.box_id, ram.box_id, 10.0)
+        assert circuit is not None
+        assert circuit.lca_level == 3 and circuit.tier_distance == 3
+        assert fabric.tier_used_gbps(INTRA) == pytest.approx(20.0)
+        assert fabric.tier_used_gbps(POD) == pytest.approx(20.0)
+        assert fabric.tier_used_gbps(SPINE) == pytest.approx(20.0)
+        fabric.release(circuit)
+        for tier in fabric.tiers:
+            assert fabric.tier_used_gbps(tier) == 0.0
+
+    def test_unknown_tier_rejected(self, env):
+        _, _, fabric = env
+        with pytest.raises(TopologyError, match="no tier"):
+            fabric.tier_utilization(TierId(7, "nope"))
+
+    def test_intra_inter_aliases_map_to_leaf_and_top(self, env):
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 0)
+        fabric.allocate_flow(cpu.box_id, ram.box_id, 40.0)
+        assert fabric.intra_rack_utilization() == fabric.tier_utilization(INTRA)
+        assert fabric.inter_rack_utilization() == fabric.tier_utilization(SPINE)
+        assert fabric.inter_rack_utilization() == 0.0
+
+
+class TestSnapshotRestore:
+    """Satellite: snapshot/restore under in-flight circuits on 3 tiers."""
+
+    def test_restore_under_in_flight_circuits(self, env):
+        _, cluster, fabric = env
+        cpu0 = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram1 = box_in_rack(cluster, ResourceType.RAM, 1)
+        ram2 = box_in_rack(cluster, ResourceType.RAM, 2)
+        # Two in-flight circuits spanning different tier depths.
+        pod_circuit = fabric.allocate_flow(cpu0.box_id, ram1.box_id, 50.0)
+        spine_circuit = fabric.allocate_flow(cpu0.box_id, ram2.box_id, 30.0)
+        assert pod_circuit is not None and spine_circuit is not None
+        snap = fabric.snapshot()
+        used_before = {tier: fabric.tier_used_gbps(tier) for tier in fabric.tiers}
+
+        # Mutate: more allocations, one release.
+        extra = fabric.allocate_flow(cpu0.box_id, ram2.box_id, 25.0)
+        assert extra is not None
+        fabric.release(pod_circuit)
+        assert fabric.snapshot() != snap
+
+        fabric.restore(snap)
+        assert fabric.snapshot() == snap
+        for tier in fabric.tiers:
+            assert fabric.tier_used_gbps(tier) == pytest.approx(used_before[tier])
+        # The restored reservations are live: releasing the original
+        # circuits drains every tier back to zero.
+        fabric.release(pod_circuit)
+        fabric.release(spine_circuit)
+        for tier in fabric.tiers:
+            assert fabric.tier_used_gbps(tier) == pytest.approx(0.0)
+
+    def test_restore_shape_mismatch(self, env):
+        _, _, fabric = env
+        with pytest.raises(TopologyError, match="snapshot shape"):
+            fabric.restore((0.0,))
+
+    def test_double_release_raises_tier_underflow(self, env):
+        """The PR 2 under-accounting guard holds on the deepest path."""
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 3)
+        circuit = fabric.allocate_flow(cpu.box_id, ram.box_id, 15.0)
+        fabric.release(circuit)
+        with pytest.raises(NetworkAllocationError, match="released twice"):
+            fabric.release(circuit)
+        # The rejected release left all tiers at zero, not negative.
+        for tier in fabric.tiers:
+            assert fabric.tier_used_gbps(tier) == 0.0
+
+    def test_partial_double_release_leaves_state_untouched(self, env):
+        """Validation happens before any hop frees bandwidth."""
+        _, cluster, fabric = env
+        cpu = box_in_rack(cluster, ResourceType.CPU, 0)
+        ram = box_in_rack(cluster, ResourceType.RAM, 2)
+        keep = fabric.allocate_flow(cpu.box_id, ram.box_id, 5.0)
+        gone = fabric.allocate_flow(cpu.box_id, ram.box_id, 10.0)
+        fabric.release(gone)
+        before = fabric.snapshot()
+        with pytest.raises(NetworkAllocationError):
+            fabric.release(gone)
+        assert fabric.snapshot() == before
+        fabric.release(keep)
+
+
+class TestPodIndexQueries:
+    def test_first_fit_in_pod(self, env):
+        _, cluster, _ = env
+        index = cluster.capacity_index
+        box = index.first_fit_in_pod(ResourceType.CPU, 1, 1)
+        assert box is not None and box.rack_index == 2
+        assert index.first_fit_in_pod(ResourceType.CPU, 1, 0).rack_index == 0
+
+    def test_pod_max_avail_tracks_allocation(self, env):
+        _, cluster, _ = env
+        index = cluster.capacity_index
+        cap = box_in_rack(cluster, ResourceType.CPU, 2).capacity_units
+        assert index.pod_max_avail(ResourceType.CPU, 1) == cap
+        box_in_rack(cluster, ResourceType.CPU, 2).allocate(3)
+        box_in_rack(cluster, ResourceType.CPU, 3).allocate(1)
+        assert index.pod_max_avail(ResourceType.CPU, 1) == cap - 1
+        assert index.pod_max_avail(ResourceType.CPU, 0) == cap
+
+    def test_best_fit_in_pod(self, env):
+        _, cluster, _ = env
+        index = cluster.capacity_index
+        box_in_rack(cluster, ResourceType.CPU, 2).allocate(6)
+        # Pod 1: rack 2's CPU box now has 2 units free, rack 3's 8.
+        assert index.best_fit_in_pod(ResourceType.CPU, 2, 1).rack_index == 2
+        assert index.best_fit_in_pod(ResourceType.CPU, 3, 1).rack_index == 3
+
+    def test_first_fit_in_rack_runs_order_and_filter(self, env):
+        _, cluster, _ = env
+        index = cluster.capacity_index
+        # Runs scanned in the given order, not globally leftmost.
+        box = index.first_fit_in_rack_runs(ResourceType.CPU, 1, [(2, 4), (0, 2)])
+        assert box.rack_index == 2
+        box = index.first_fit_in_rack_runs(
+            ResourceType.CPU, 1, [(0, 4)], rack_filter=frozenset({1, 3})
+        )
+        assert box.rack_index == 1
+        assert (
+            index.first_fit_in_rack_runs(
+                ResourceType.CPU, 1, [(0, 4)], rack_filter=frozenset()
+            )
+            is None
+        )
