@@ -1,0 +1,136 @@
+"""Checkpoint/fork benchmarks: warm-prefix what-if branches vs cold reruns.
+
+The scenario engine's value proposition is quantitative: a what-if point
+that diverges late in the trace should cost only its divergent suffix, not a
+full rerun.  This benchmark runs an admission-threshold study whose branches
+fork at 90% of a synthetic trace and gates on the fork-and-replay path being
+at least 3x faster than the equivalent cold reruns (the pre-fork
+``SimulationSession`` behavior: every point replays the whole trace).
+
+Both paths produce identical summaries — asserted, so the speedup is never
+bought with a behavioral drift.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import paper_default
+from repro.experiments import ScenarioTree, admission_branches, run_scenario_tree
+from repro.sim import DDCSimulator
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+from conftest import bench_quick
+
+#: Acceptance floor: forked branches vs cold reruns of the same study.
+MIN_SPEEDUP = 3.0
+
+VM_COUNT = 2_000 if bench_quick() else 6_000
+FORK_FRACTION = 0.9
+THRESHOLDS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+SCHEDULER = "risa"
+
+
+@pytest.fixture(scope="module")
+def vms():
+    return generate_synthetic(SyntheticWorkloadParams(count=VM_COUNT), seed=0)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return ScenarioTree(
+        branches=tuple(admission_branches(THRESHOLDS)),
+        fork_fraction=FORK_FRACTION,
+    )
+
+
+def masked(summary):
+    d = summary.as_dict()
+    d.pop("scheduler_time_s")
+    return d
+
+
+def run_cold(spec, vms, tree):
+    """The pre-fork strategy: one full stateful run per branch, applying the
+    branch's perturbation at the fork time (no shared prefix)."""
+    fork_time = tree.fork_time(vms)
+    outcomes = {}
+    for branch in tree.all_branches():
+        sim = DDCSimulator(spec, SCHEDULER, keep_records=False)
+        sim.start_run(vms)
+        sim.advance(until=fork_time)
+        for perturbation in branch.perturbations:
+            perturbation.apply(sim)
+        outcomes[branch.name] = sim.finish().summary
+    return outcomes
+
+
+def run_warm(spec, vms, tree):
+    """The scenario engine: one warm prefix, every branch forked off it."""
+    outcome = run_scenario_tree(spec, SCHEDULER, vms, tree)
+    return {b.branch: b.summary for b in outcome.branches}
+
+
+def test_fork_speedup(vms, tree):
+    """Fork+replay of late-trace what-if branches must be >= 3x faster than
+    cold reruns, with bit-identical branch summaries."""
+    spec = paper_default()
+    start = time.perf_counter()
+    cold = run_cold(spec, vms, tree)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_warm(spec, vms, tree)
+    warm_s = time.perf_counter() - start
+
+    assert set(cold) == set(warm)
+    for name in cold:
+        assert masked(cold[name]) == masked(warm[name]), name
+
+    speedup = cold_s / warm_s
+    branches = len(tree.all_branches())
+    print(
+        f"\n{branches} branches forked at {FORK_FRACTION:.0%} of {VM_COUNT} VMs: "
+        f"cold={cold_s:.3f}s warm={warm_s:.3f}s speedup={speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fork+replay only {speedup:.2f}x faster than cold reruns "
+        f"(< {MIN_SPEEDUP}x floor)"
+    )
+
+
+@pytest.mark.parametrize("strategy", ["cold", "warm"])
+def test_scenario_strategy_timing(benchmark, vms, tree, strategy):
+    """Per-strategy timing of the same admission study (JSON artifact)."""
+    spec = paper_default()
+    runner = run_cold if strategy == "cold" else run_warm
+    outcomes = benchmark.pedantic(runner, args=(spec, vms, tree), rounds=1, iterations=1)
+    assert len(outcomes) == len(tree.all_branches())
+
+
+def test_checkpoint_cost_is_trace_independent(vms):
+    """A full checkpoint is O(cluster + active VMs): its cost must not grow
+    with how much trace has been consumed (append-only state is captured by
+    length, not by copy)."""
+    spec = paper_default()
+    sim = DDCSimulator(spec, SCHEDULER, keep_records=False)
+    sim.start_run(vms)
+    times = sorted(vm.arrival for vm in vms)
+
+    def checkpoint_time():
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            sim.full_checkpoint()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    sim.advance(until=times[len(times) // 10])
+    early = checkpoint_time()
+    sim.advance(until=times[(9 * len(times)) // 10])
+    late = checkpoint_time()
+    print(f"\ncheckpoint cost: early={early * 1e3:.2f}ms late={late * 1e3:.2f}ms")
+    # Generous bound: "late" may hold more *active* VMs, but never pays for
+    # the consumed trace.  A per-record copy would blow this up ~9x.
+    assert late < early * 5 + 1e-3

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A what-if study off one shared warm prefix: admission sweep + pod failure.
+
+The scenario engine answers counterfactuals without cold reruns: simulate a
+trace once up to a fork point, take a full-state checkpoint, then branch —
+each branch applies a perturbation (an admission threshold, a spine
+oversubscription change, a pod failure) and replays only the divergent
+suffix.  The baseline branch is bit-identical to an uninterrupted run, so
+every delta in the table is attributable to the perturbation alone.
+
+This study uses the 4-pod ``pod_scale`` preset and asks two questions about
+the same overloaded trace:
+
+1. How much load does each admission threshold shed (and what does that buy
+   in network utilization)?
+2. What happens when pod 0 fails at mid-trace — and does tightening the
+   spine at the same time make it worse?
+
+Run:  python examples/what_if_study.py
+"""
+
+from repro.config import pod_scale
+from repro.experiments import (
+    AdmissionThreshold,
+    PodFailure,
+    ScenarioBranch,
+    ScenarioTree,
+    TierCapacityScale,
+    admission_branches,
+    run_scenario_tree,
+)
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+VM_COUNT = 3000
+FORK_FRACTION = 0.4  # fork after 40% of arrivals — the cluster is warm
+
+
+def main() -> None:
+    spec = pod_scale(num_pods=4, racks_per_pod=9)
+    vms = generate_synthetic(
+        SyntheticWorkloadParams(count=VM_COUNT, mean_interarrival=2.0), seed=0
+    )
+
+    tree = ScenarioTree(
+        branches=(
+            *admission_branches((0.5, 0.7)),
+            ScenarioBranch("pod0-down", (PodFailure(0),)),
+            ScenarioBranch(
+                "pod0-down+tight-spine",
+                (PodFailure(0), TierCapacityScale(0.5, tier=-1)),
+            ),
+            ScenarioBranch(
+                "admit<=0.7+pod0-down",
+                (AdmissionThreshold(0.7), PodFailure(0)),
+            ),
+        ),
+        fork_fraction=FORK_FRACTION,
+    )
+
+    outcome = run_scenario_tree(spec, "risa_pod", vms, tree)
+    baseline = outcome.branch("baseline").summary
+
+    print(
+        f"{VM_COUNT} VMs on a 4-pod fabric; "
+        f"{len(tree.all_branches())} branches forked at t={outcome.fork_time:g} "
+        f"({FORK_FRACTION:.0%} of arrivals)\n"
+    )
+    header = (
+        f"{'branch':>24s} {'scheduled':>9s} {'dropped':>7s} "
+        f"{'inter-rack%':>11s} {'spine util':>10s}"
+    )
+    print(header)
+    for branch in outcome.branches:
+        s = branch.summary
+        print(
+            f"{branch.branch:>24s} {s.scheduled_vms:9d} {s.dropped_vms:7d} "
+            f"{s.inter_rack_percent:11.2f} {s.avg_inter_net_utilization:10.4f}"
+        )
+
+    print(
+        "\nEvery row shares the first "
+        f"{FORK_FRACTION:.0%} of simulated history with the baseline "
+        f"({baseline.scheduled_vms} scheduled, {baseline.dropped_vms} dropped), "
+        "\nso the deltas are pure counterfactuals — and the whole study cost "
+        "one warm prefix\nplus six suffixes instead of six full traces."
+    )
+
+
+if __name__ == "__main__":
+    main()

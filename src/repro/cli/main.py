@@ -17,6 +17,9 @@ Subcommands
                    intervals.
 ``topology``     — print the fabric tier tree (bundle counts, capacity,
                    oversubscription) of a named preset.
+``scenarios``    — what-if branches (admission thresholds, tier
+                   oversubscription, pod failure) forked off a shared warm
+                   prefix instead of cold reruns.
 """
 
 from __future__ import annotations
@@ -33,10 +36,14 @@ from ..network import NetworkFabric
 from ..sim import DDCSimulator, ENGINES, EventLog
 from ..topology import build_cluster
 from ..types import ResourceVector
-from ..errors import WorkloadError
+from ..errors import SimulationError, TopologyError, WorkloadError
 from ..experiments import (
     EXPERIMENTS,
+    ScenarioTree,
     SimulationSession,
+    admission_branches,
+    oversubscription_branches,
+    pod_failure_branches,
     render_report,
     run_all,
     run_experiment,
@@ -220,6 +227,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel", type=int, default=1,
                    help="fan runs across N worker processes")
     _add_engine_flag(p)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="what-if branches forked off a shared warm prefix",
+    )
+    p.add_argument("--schedulers", nargs="+", default=["risa"],
+                   choices=sorted(ALL_SCHEDULERS), metavar="NAME",
+                   help="schedulers to study (default: risa)")
+    p.add_argument("--seeds", type=int, default=1, help="number of seeds")
+    p.add_argument("--workload", default="synthetic",
+                   help="synthetic | azure-3000 | azure-5000 | azure-7500")
+    p.add_argument("--count", type=int, default=0, help="truncate to N VMs")
+    p.add_argument("--preset", default="paper", choices=sorted(PRESETS),
+                   help="cluster/fabric preset (default: paper; pod presets "
+                        "enable pod-failure and spine studies)")
+    p.add_argument("--fork-at", type=float, default=0.5, metavar="FRACTION",
+                   help="fork after this fraction of arrivals (default: 0.5)")
+    p.add_argument("--admission", type=float, nargs="+", default=[],
+                   metavar="UTIL", help="one branch per admission threshold "
+                   "(reject arrivals above this utilization)")
+    p.add_argument("--scale-tier", type=float, nargs="+", default=[],
+                   metavar="FACTOR", help="one branch per capacity factor on "
+                   "the top (spine) tier")
+    p.add_argument("--fail-pod", type=int, nargs="+", default=[],
+                   metavar="POD", help="one branch per failed (drained) pod")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="fan (scheduler, seed) trees across N workers")
     return parser
 
 
@@ -346,6 +380,53 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "dropped_vms",
                     "inter_rack_assignments",
                     "avg_cpu_ram_latency_ns",
+                    "avg_optical_power_kw",
+                ]
+            )
+        )
+        return 0
+
+    if args.command == "scenarios":
+        if args.seeds < 1:
+            raise SystemExit("--seeds must be at least 1")
+        session = SimulationSession(PRESETS[args.preset](), parallel=args.parallel)
+        try:
+            branches = (
+                admission_branches(args.admission)
+                + oversubscription_branches(args.scale_tier)
+                + pod_failure_branches(args.fail_pod)
+            )
+            if not branches:
+                raise SystemExit(
+                    "no branches requested; give at least one of --admission, "
+                    "--scale-tier, --fail-pod"
+                )
+            tree = ScenarioTree(branches=tuple(branches), fork_fraction=args.fork_at)
+            result = session.scenarios(
+                tree,
+                schedulers=tuple(args.schedulers),
+                seeds=tuple(range(args.seeds)),
+                workload=args.workload,
+                count=args.count or None,
+            )
+        except (SimulationError, TopologyError, WorkloadError) as exc:
+            # Domain errors (bad fork fraction, unknown pod, missing trace)
+            # read as usage mistakes here, not tracebacks — this includes
+            # ones re-raised out of pool workers under --parallel.
+            raise SystemExit(str(exc)) from None
+        print(
+            f"{len(result.branch_names())} branches "
+            f"(fork at {args.fork_at:g} of the trace; "
+            f"t={result.outcomes[0].fork_time:g} for seed "
+            f"{result.outcomes[0].seed}):"
+        )
+        print(
+            result.table(
+                [
+                    "scheduled_vms",
+                    "dropped_vms",
+                    "inter_rack_percent",
+                    "avg_inter_net_utilization",
                     "avg_optical_power_kw",
                 ]
             )

@@ -12,7 +12,22 @@ from .figures import (
     run_fig12,
 )
 from .runner import EXPERIMENTS, render_report, run_all, run_experiment
+from .scenarios import (
+    AdmissionThreshold,
+    BranchOutcome,
+    PodFailure,
+    ScenarioBranch,
+    ScenarioOutcome,
+    ScenarioResult,
+    ScenarioTree,
+    TierCapacityScale,
+    admission_branches,
+    oversubscription_branches,
+    pod_failure_branches,
+    run_scenario_tree,
+)
 from .sweep import (
+    ScenarioPoint,
     SimulationSession,
     SweepOutcome,
     SweepPoint,
@@ -28,14 +43,27 @@ from .sensitivity import (
 from .toy_examples import run_toy_example_1, run_toy_example_2
 
 __all__ = [
+    "AdmissionThreshold",
+    "BranchOutcome",
     "EXPERIMENTS",
     "EXTENSION_EXPERIMENTS",
     "ExperimentResult",
+    "PodFailure",
+    "ScenarioBranch",
+    "ScenarioOutcome",
+    "ScenarioPoint",
+    "ScenarioResult",
+    "ScenarioTree",
     "ShapeCheck",
     "SimulationSession",
     "SweepOutcome",
     "SweepPoint",
     "SweepResult",
+    "TierCapacityScale",
+    "admission_branches",
+    "oversubscription_branches",
+    "pod_failure_branches",
+    "run_scenario_tree",
     "render_report",
     "run_all",
     "run_experiment",

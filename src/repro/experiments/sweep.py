@@ -10,6 +10,12 @@ multi-megabyte VM lists across the pool boundary.
 Results come back as picklable :class:`SweepOutcome` rows (summary scalars
 only — per-VM records stay in the worker) in submission order, so a
 ``parallel=1`` session and an N-worker session produce identical output.
+
+Scenario studies (:meth:`SimulationSession.scenarios`) schedule whole
+:class:`~repro.experiments.scenarios.ScenarioTree`\\ s as points: one point
+per (scheduler, seed), so each worker simulates the shared warm prefix
+*once* and forks every what-if branch off it, instead of paying a cold
+rerun per branch.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..analysis.ascii_plot import ascii_table
 from ..config import ClusterSpec, paper_default
@@ -26,6 +32,10 @@ from ..metrics import RunSummary, aggregate_summaries
 from ..schedulers import PAPER_SCHEDULERS
 from ..sim import default_engine, simulate
 from ..workloads import SyntheticWorkloadParams, VMRequest, generate_synthetic, synthesize_azure
+from .scenarios import ScenarioOutcome, ScenarioResult, ScenarioTree, run_scenario_tree
+
+_PointT = TypeVar("_PointT")
+_OutcomeT = TypeVar("_OutcomeT")
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,6 +154,37 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
     return SweepOutcome(point=point, summary=result.summary, end_time=result.end_time)
 
 
+@dataclass(frozen=True, slots=True)
+class ScenarioPoint:
+    """One scenario tree to run: scheduler × seed × workload (by reference).
+
+    The whole branch set of one (scheduler, seed) rides in a single point —
+    that granularity is what lets the worker share the warm prefix across
+    branches.  Scenario runs always use the flat engine (forks require it).
+    """
+
+    scheduler: str
+    tree: ScenarioTree
+    seed: int = 0
+    workload: str = "synthetic"
+    count: int | None = None
+    keep_records: bool = False
+
+
+def _run_scenario_point(point: ScenarioPoint) -> ScenarioOutcome:
+    """Run one scenario tree against the worker's pinned spec."""
+    spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
+    vms = build_workload(point.workload, point.count, point.seed)
+    return run_scenario_tree(
+        spec,
+        point.scheduler,
+        vms,
+        point.tree,
+        seed=point.seed,
+        keep_records=point.keep_records,
+    )
+
+
 # ---------------------------------------------------------------------- #
 # Session
 # ---------------------------------------------------------------------- #
@@ -173,25 +214,32 @@ class SimulationSession:
         self.engine = default_engine() if engine is None else engine
         self.keep_records = keep_records
 
-    def run_points(self, points: Iterable[SweepPoint]) -> SweepResult:
-        """Execute points, preserving submission order in the result."""
-        points = list(points)
+    def _map_points(
+        self,
+        runner: Callable[[_PointT], _OutcomeT],
+        points: list[_PointT],
+    ) -> list[_OutcomeT]:
+        """Run ``runner`` over points serially or across the process pool,
+        preserving submission order (shared by sweeps and scenario studies).
+        """
         if self.parallel == 1 or len(points) <= 1:
             _init_worker(self.spec)
-            outcomes = [_run_point(point) for point in points]
-        else:
-            workers = min(self.parallel, len(points))
-            # Chunking keeps adjacent points (which sweep() orders seed-major,
-            # i.e. sharing a workload) on the same worker, so its per-process
-            # trace cache actually gets hits.
-            chunksize = max(1, len(points) // (workers * 4))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self.spec,),
-            ) as pool:
-                outcomes = list(pool.map(_run_point, points, chunksize=chunksize))
-        return SweepResult(outcomes=tuple(outcomes))
+            return [runner(point) for point in points]
+        workers = min(self.parallel, len(points))
+        # Chunking keeps adjacent points (which sweep() orders seed-major,
+        # i.e. sharing a workload) on the same worker, so its per-process
+        # trace cache actually gets hits.
+        chunksize = max(1, len(points) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.spec,),
+        ) as pool:
+            return list(pool.map(runner, points, chunksize=chunksize))
+
+    def run_points(self, points: Iterable[SweepPoint]) -> SweepResult:
+        """Execute points, preserving submission order in the result."""
+        return SweepResult(outcomes=tuple(self._map_points(_run_point, list(points))))
 
     def sweep(
         self,
@@ -219,3 +267,44 @@ class SimulationSession:
             for scheduler in schedulers
         ]
         return self.run_points(points)
+
+    # ------------------------------------------------------------------ #
+    # Scenario studies (forked what-if branches off shared warm prefixes)
+    # ------------------------------------------------------------------ #
+
+    def run_scenario_points(self, points: Iterable[ScenarioPoint]) -> ScenarioResult:
+        """Execute scenario trees, preserving submission order."""
+        return ScenarioResult(
+            outcomes=tuple(self._map_points(_run_scenario_point, list(points)))
+        )
+
+    def scenarios(
+        self,
+        tree: ScenarioTree,
+        schedulers: Sequence[str] = PAPER_SCHEDULERS,
+        seeds: Sequence[int] = (0,),
+        workload: str = "synthetic",
+        count: int | None = None,
+    ) -> ScenarioResult:
+        """Run one scenario tree for every scheduler × seed.
+
+        Each (scheduler, seed) cell is a single point: its worker simulates
+        the shared warm prefix once, then forks every branch (baseline
+        included) off the same :class:`~repro.sim.simulator.RunCheckpoint` —
+        on an N-branch tree forked at fraction f, that replaces N cold
+        full-trace runs with one prefix plus N suffixes (~``1 + N·(1-f)``
+        trace-equivalents).  Scenario runs always use the flat engine.
+        """
+        points = [
+            ScenarioPoint(
+                scheduler=scheduler,
+                tree=tree,
+                seed=seed,
+                workload=workload,
+                count=count,
+                keep_records=self.keep_records,
+            )
+            for seed in seeds
+            for scheduler in schedulers
+        ]
+        return self.run_scenario_points(points)

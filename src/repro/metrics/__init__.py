@@ -1,11 +1,12 @@
 """Metric collection and summarization for simulation runs."""
 
-from .collector import MetricsCollector, VMRecord, tier_gauge_name
+from .collector import MetricsCollector, MetricsSnapshot, VMRecord, tier_gauge_name
 from .gauges import TimeWeightedGauge
 from .summary import RunSummary, aggregate_summaries, summarize
 
 __all__ = [
     "MetricsCollector",
+    "MetricsSnapshot",
     "RunSummary",
     "TimeWeightedGauge",
     "VMRecord",

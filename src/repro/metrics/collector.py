@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import ClusterSpec
+from ..errors import SimulationError
 from ..network import NetworkFabric
 from ..photonics import PowerReport
 from ..schedulers import Placement
@@ -30,6 +31,28 @@ from ..topology import Cluster
 from ..types import RESOURCE_ORDER, ResourceType, TierId
 from ..workloads import ResolvedRequest
 from .gauges import TimeWeightedGauge
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """O(1) copy-on-fork state of a :class:`MetricsCollector`.
+
+    Everything a mid-run fork needs to continue bit-identically: the scalar
+    tallies, every gauge's five scalars, the power report's energy totals,
+    and the *length* of the append-only per-VM lists (records rewind by
+    truncation, they are never copied)."""
+
+    record_count: int
+    scheduler_time_s: float
+    first_arrival: float | None
+    last_event_time: float
+    total_requests: int
+    scheduled_count: int
+    inter_rack_count: int
+    latency_sum_ns: float
+    latency_count: int
+    gauges: tuple[tuple[str, tuple[float, float, float, float, float]], ...]
+    power: tuple[float, float, int]
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,7 +151,7 @@ class MetricsCollector:
             for gauge in self._gauges.values():
                 # Restart gauge windows at the first arrival so idle lead-in
                 # time does not dilute the averages.
-                gauge.__init__(0.0, now)
+                gauge.restart(now)
 
     def record_assignment(self, placement: Placement, now: float) -> None:
         """Record a successful placement (after the scheduler committed)."""
@@ -204,6 +227,61 @@ class MetricsCollector:
         self.first_arrival = None
         self.last_event_time = 0.0
         self.__post_init__()
+
+    # ------------------------------------------------------------------ #
+    # Fork support
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Capture the collector's full state in O(gauges) scalars."""
+        return MetricsSnapshot(
+            record_count=len(self.records),
+            scheduler_time_s=self.scheduler_time_s,
+            first_arrival=self.first_arrival,
+            last_event_time=self.last_event_time,
+            total_requests=self.total_requests,
+            scheduled_count=self.scheduled_count,
+            inter_rack_count=self.inter_rack_count,
+            latency_sum_ns=self.latency_sum_ns,
+            latency_count=self.latency_count,
+            gauges=tuple(
+                (name, gauge.snapshot()) for name, gauge in self._gauges.items()
+            ),
+            power=self.power.snapshot(),
+        )
+
+    def restore(self, snap: MetricsSnapshot) -> None:
+        """Rewind to a state captured by :meth:`snapshot`.
+
+        The per-VM record list is truncated back (snapshots rewind an
+        append-only history, they never regrow it), the raw gauge integrals
+        are written back verbatim, and the power tallies reset — so a forked
+        continuation reproduces the uninterrupted run's summary bit for bit.
+        """
+        if snap.record_count > len(self.records):
+            raise SimulationError(
+                f"metrics snapshot holds {snap.record_count} records but the "
+                f"collector has only {len(self.records)}; snapshots rewind "
+                "this collector's own history"
+            )
+        names = tuple(name for name, _ in snap.gauges)
+        if names != tuple(self._gauges):
+            raise SimulationError(
+                f"metrics snapshot gauges {names} do not match this "
+                f"collector's gauges {tuple(self._gauges)}"
+            )
+        del self.records[snap.record_count:]
+        self.scheduler_time_s = snap.scheduler_time_s
+        self.first_arrival = snap.first_arrival
+        self.last_event_time = snap.last_event_time
+        self.total_requests = snap.total_requests
+        self.scheduled_count = snap.scheduled_count
+        self.inter_rack_count = snap.inter_rack_count
+        self.latency_sum_ns = snap.latency_sum_ns
+        self.latency_count = snap.latency_count
+        for name, state in snap.gauges:
+            self._gauges[name].restore(state)
+        self.power.restore(snap.power)
 
     # ------------------------------------------------------------------ #
     # Derived quantities

@@ -57,3 +57,46 @@ class TimeWeightedGauge:
         if duration <= 0:
             return self._value
         return self._integral / duration
+
+    def restart(self, now: float) -> None:
+        """Reset the gauge to a zero signal whose window opens at ``now``.
+
+        Equivalent to constructing ``TimeWeightedGauge(0.0, now)`` in place:
+        the integral, peak, and value all clear and the averaging window
+        restarts.  Used to discard idle lead-in time once the first arrival
+        lands.
+        """
+        self._value = 0.0
+        self._last_time = now
+        self._start_time = now
+        self._integral = 0.0
+        self._peak = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Fork support
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> tuple[float, float, float, float, float]:
+        """Capture the five scalars of gauge state (O(1), no history)."""
+        return (
+            self._value,
+            self._last_time,
+            self._start_time,
+            self._integral,
+            self._peak,
+        )
+
+    def restore(self, state: tuple[float, float, float, float, float]) -> None:
+        """Rewind to a state captured by :meth:`snapshot`.
+
+        Restoring the raw integral (not a recomputed value) guarantees that
+        a forked continuation accumulates bit-identical averages to the
+        uninterrupted run.
+        """
+        (
+            self._value,
+            self._last_time,
+            self._start_time,
+            self._integral,
+            self._peak,
+        ) = state

@@ -70,6 +70,32 @@ class LinkBundle:
         """Aggregate available bandwidth across the bundle (O(1))."""
         return self._capacity_gbps - self._used_gbps
 
+    def set_link_capacities(self, capacities_gbps: tuple[float, ...] | list[float]) -> None:
+        """Resize every member link, keeping the bundle aggregates and the
+        free-link index consistent (the what-if oversubscription path).
+
+        Capacity may shrink below a link's current reservation: existing
+        circuits are grandfathered (their release accounting is unchanged)
+        and the link simply offers no headroom until enough departs.  The
+        aggregate capacity is recomputed with the construction-time fold, so
+        perturb-then-restore round-trips are bit-exact.
+        """
+        if len(capacities_gbps) != len(self.links):
+            raise NetworkAllocationError(
+                f"bundle {self.name}: {len(capacities_gbps)} capacities for "
+                f"{len(self.links)} links"
+            )
+        for capacity in capacities_gbps:
+            if capacity <= 0:
+                raise NetworkAllocationError(
+                    f"link capacity must be positive, got {capacity}"
+                )
+        for pos, (link, capacity) in enumerate(zip(self.links, capacities_gbps)):
+            link.capacity_gbps = capacity
+            if self._tree is not None:
+                self._tree.update(pos, link.avail_gbps)
+        self._capacity_gbps = sum(l.capacity_gbps for l in self.links)
+
     def max_link_avail_gbps(self) -> float:
         """Availability of the emptiest link (what a new circuit could get)."""
         if self._tree is not None:

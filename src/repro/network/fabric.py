@@ -410,6 +410,10 @@ class NetworkFabric:
             for bundle in tier_bundles.values():
                 yield from bundle.links
 
+    def links_by_id(self) -> dict[int, Link]:
+        """Every link keyed by its id (fork re-binding of circuits)."""
+        return {link.link_id: link for link in self._iter_links()}
+
     def snapshot(self) -> tuple[float, ...]:
         """Capture per-link reserved bandwidth; restorable and comparable."""
         return tuple(link.used_gbps for link in self._iter_links())
@@ -429,6 +433,81 @@ class NetworkFabric:
         self._tier_used = {tier: 0.0 for tier in self._tiers}
         for link in links:
             self._tier_used[link.tier] += link.used_gbps
+
+    # ------------------------------------------------------------------ #
+    # Capacity perturbation (what-if oversubscription branches)
+    # ------------------------------------------------------------------ #
+
+    def resolve_tier(self, tier: TierId | int | str) -> TierId:
+        """Resolve a tier given as a :class:`TierId`, a level (negative
+        indexes from the top, e.g. ``-1`` = the spine/top tier), or a name."""
+        if isinstance(tier, TierId):
+            return self._tier_key(tier)
+        if isinstance(tier, int):
+            try:
+                return self._tiers[tier]
+            except IndexError:
+                raise TopologyError(
+                    f"fabric has no tier level {tier}; {len(self._tiers)} tiers"
+                ) from None
+        for candidate in self._tiers:
+            if candidate.name == tier:
+                return candidate
+        raise TopologyError(
+            f"fabric has no tier named {tier!r}; tiers are "
+            f"{[t.name for t in self._tiers]}"
+        )
+
+    def scale_tier_capacity(self, tier: TierId | int | str, factor: float) -> None:
+        """Multiply every link capacity of one tier by ``factor``.
+
+        The oversubscription lever of the scenario engine: ``factor < 1``
+        tightens the aggregation funnel at that stage mid-run, ``> 1``
+        widens it.  Existing reservations are untouched (circuits already
+        committed keep flowing and release normally — a shrink can leave a
+        link temporarily over its new capacity, it just offers no headroom
+        until departures free it).  Bundle aggregates, free-link indexes,
+        and the tier capacity counter all stay consistent; rewind with
+        :meth:`capacity_snapshot` / :meth:`restore_capacities`.
+        """
+        if factor <= 0:
+            raise TopologyError(f"capacity scale factor must be positive, got {factor}")
+        tier = self.resolve_tier(tier)
+        bundles = self._bundles[tier.level].values()
+        for bundle in bundles:
+            bundle.set_link_capacities([l.capacity_gbps * factor for l in bundle.links])
+        self._tier_capacity[tier] = sum(b.capacity_gbps for b in bundles)
+
+    def capacity_snapshot(self) -> tuple[float, ...]:
+        """Capture per-link capacity (the perturbable quantity), in the same
+        deterministic order as :meth:`snapshot`."""
+        return tuple(link.capacity_gbps for link in self._iter_links())
+
+    def restore_capacities(self, snap: tuple[float, ...]) -> None:
+        """Restore link capacities captured by :meth:`capacity_snapshot`,
+        rebuilding bundle aggregates, free-link indexes, and tier totals.
+
+        Restore capacities *before* :meth:`restore` when rewinding both, so
+        the free-link indexes and bundle aggregates are rebuilt from the
+        final capacities and every intermediate headroom value the restore
+        publishes is computed against them.
+        """
+        expected = sum(
+            len(bundle.links)
+            for tier_bundles in self._bundles
+            for bundle in tier_bundles.values()
+        )
+        if len(snap) != expected:
+            raise TopologyError("capacity snapshot shape does not match fabric")
+        pos = 0
+        self._tier_capacity = {tier: 0.0 for tier in self._tiers}
+        for level, tier_bundles in enumerate(self._bundles):
+            tier = self._tiers[level]
+            for bundle in tier_bundles.values():
+                n = len(bundle.links)
+                bundle.set_link_capacities(snap[pos : pos + n])
+                pos += n
+                self._tier_capacity[tier] += bundle.capacity_gbps
 
     # ------------------------------------------------------------------ #
     # Utilization (Figure 8 quantities, per tier)

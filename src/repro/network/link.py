@@ -86,14 +86,20 @@ class Link:
             self._on_change(self, self.used_gbps - old)
 
     def set_used(self, used_gbps: float) -> None:
-        """Overwrite reserved bandwidth wholesale (snapshot-restore path)."""
-        if used_gbps < 0 or used_gbps > self.capacity_gbps + BANDWIDTH_EPS:
+        """Overwrite reserved bandwidth wholesale (snapshot-restore path).
+
+        Capacity is *not* an upper bound here: a what-if capacity shrink
+        grandfathers committed circuits (see
+        :meth:`~repro.network.bundle.LinkBundle.set_link_capacities`), so a
+        live link can legitimately hold more than it would now admit — and a
+        snapshot of that state must restore verbatim.
+        """
+        if used_gbps < 0:
             raise NetworkAllocationError(
-                f"link {self.link_id}: occupancy {used_gbps} Gb/s outside "
-                f"[0, {self.capacity_gbps}] Gb/s"
+                f"link {self.link_id}: negative occupancy {used_gbps} Gb/s"
             )
         old = self.used_gbps
-        self.used_gbps = min(self.capacity_gbps, used_gbps)
+        self.used_gbps = used_gbps
         if self._on_change is not None and self.used_gbps != old:
             self._on_change(self, self.used_gbps - old)
 

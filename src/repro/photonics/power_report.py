@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import EnergyConfig
+from ..errors import SimulationError
 from ..network import Circuit
 from .switch_energy import path_switch_energy_j
 from .transceiver import transceiver_energy_j
@@ -87,6 +88,35 @@ class PowerReport:
         )
         self.record(entry)
         return entry
+
+    # ------------------------------------------------------------------ #
+    # Fork support
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> tuple[float, float, int]:
+        """Capture the scalar energy tallies plus the per-VM entry count.
+
+        O(1): the per-VM breakdown list is append-only, so its length is
+        enough to rewind it without copying entries.
+        """
+        return (self.switch_energy_j, self.transceiver_energy_j, len(self.per_vm))
+
+    def restore(self, state: tuple[float, float, int]) -> None:
+        """Rewind to a state captured by :meth:`snapshot`.
+
+        The per-VM list is truncated back to its snapshot length; the state
+        must come from *this* report's own history (the list can only be
+        rewound, never regrown).
+        """
+        switch_j, tx_j, count = state
+        if count > len(self.per_vm):
+            raise SimulationError(
+                f"power snapshot holds {count} per-VM entries but the report "
+                f"has only {len(self.per_vm)}; snapshots rewind, never regrow"
+            )
+        del self.per_vm[count:]
+        self.switch_energy_j = switch_j
+        self.transceiver_energy_j = tx_j
 
     def average_power_w(self, makespan_time_units: float) -> float:
         """Average optical power over the workload (watts)."""

@@ -85,6 +85,28 @@ class Scheduler(abc.ABC):
     def schedule(self, request: ResolvedRequest) -> Placement | None:
         """Place one VM; returns the committed placement or None (dropped)."""
 
+    # ------------------------------------------------------------------ #
+    # Fork support
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> object | None:
+        """Capture scheduler-private mutable state (cursors, RNGs).
+
+        Most schedulers are pure functions of cluster/fabric state and
+        return ``None``; stateful ones (RISA's round-robin cursor, the
+        random baseline's RNG) override this pair so a forked run continues
+        bit-identically.  The returned object must be immutable or a private
+        copy.
+        """
+        return None
+
+    def restore_state(self, state: object | None) -> None:
+        """Rewind state captured by :meth:`snapshot_state`."""
+        if state is not None:
+            raise SchedulerError(
+                f"{type(self).__name__} is stateless but got a state snapshot"
+            )
+
     def release(self, placement: Placement) -> None:
         """Return a placement's compute units and network bandwidth."""
         self.cluster.box(placement.cpu.box_id).release(placement.cpu)

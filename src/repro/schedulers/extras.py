@@ -19,9 +19,12 @@ can attribute its wins:
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from ..config import ClusterSpec
+from ..errors import SchedulerError
 from ..network import LinkSelectionPolicy, NetworkFabric
 from ..topology import Box, Cluster
 from ..types import RESOURCE_ORDER, ResourceType
@@ -165,6 +168,17 @@ class RandomScheduler(_GlobalBoxScheduler):
     ) -> None:
         super().__init__(spec, cluster, fabric)
         self._rng = np.random.default_rng(seed)
+
+    def snapshot_state(self) -> object | None:
+        """A deep copy of the RNG state (forked draws must replay exactly)."""
+        return copy.deepcopy(self._rng.bit_generator.state)
+
+    def restore_state(self, state: object | None) -> None:
+        if not isinstance(state, dict):
+            raise SchedulerError(
+                f"{type(self).__name__} expects an RNG state snapshot, got {state!r}"
+            )
+        self._rng.bit_generator.state = copy.deepcopy(state)
 
     def _pick(self, rtype: ResourceType, units: int) -> Box | None:
         index = self.cluster.capacity_index

@@ -17,6 +17,7 @@ resource stranding.
 from __future__ import annotations
 
 from ..config import ClusterSpec
+from ..errors import SchedulerError
 from ..network import LinkSelectionPolicy, NetworkFabric
 from ..topology import Box, Cluster, Rack
 from ..types import RESOURCE_ORDER, ResourceType
@@ -37,6 +38,17 @@ class RISAScheduler(Scheduler):
         super().__init__(spec, cluster, fabric)
         self._cursor = 0
         self._fallback = NULBScheduler(spec, cluster, fabric)
+
+    def snapshot_state(self) -> object | None:
+        """The round-robin cursor (NULB fallback is stateless)."""
+        return self._cursor
+
+    def restore_state(self, state: object | None) -> None:
+        if not isinstance(state, int):
+            raise SchedulerError(
+                f"{type(self).__name__} expects an int cursor snapshot, got {state!r}"
+            )
+        self._cursor = state
 
     # ------------------------------------------------------------------ #
     # Intra-rack placement

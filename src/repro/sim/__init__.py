@@ -2,24 +2,33 @@
 reference engine, and the DDC driver."""
 
 from .conditions import AllOf, AnyOf
-from .engine import FlatEngine
+from .engine import EngineSnapshot, FlatEngine
 from .environment import Environment, Process
 from .event_log import EventLog, SimEvent
 from .events import Event, Timeout
 from .resources import SimResource, SimStore
 from .results import SimulationResult
-from .simulator import ENGINES, DDCSimulator, SimCheckpoint, default_engine, simulate
+from .simulator import (
+    ENGINES,
+    DDCSimulator,
+    RunCheckpoint,
+    SimCheckpoint,
+    default_engine,
+    simulate,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "DDCSimulator",
     "ENGINES",
+    "EngineSnapshot",
     "Environment",
     "Event",
     "EventLog",
     "FlatEngine",
     "Process",
+    "RunCheckpoint",
     "SimResource",
     "SimEvent",
     "SimStore",

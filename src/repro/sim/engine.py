@@ -16,12 +16,20 @@ bit-identical event streams: at equal times arrivals fire before departures
 (every arrival timeout is scheduled during bootstrap, before any departure
 timeout exists, and the heap orders equal times by scheduling sequence), and
 equal-time departures fire in placement-commit order.
+
+The calendar is *resumable*: :meth:`bind_arrivals` attaches the arrival
+stream once and :meth:`advance` drives it any number of times (optionally up
+to a horizon), so a run can pause mid-trace, :meth:`snapshot` its heap and
+clock, branch, and :meth:`restore` — the primitive behind
+``DDCSimulator.fork()`` and the what-if scenario engine.  :meth:`run` keeps
+the original one-shot semantics exactly (it is now bind + advance).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, TypeVar
 
 from ..errors import SimulationError
 from ..workloads import ResolvedRequest
@@ -35,22 +43,44 @@ ArrivalHandler = Callable[[ResolvedRequest, float], Optional[P]]
 DepartureHandler = Callable[[P, float], Any]
 
 
+@dataclass(frozen=True, slots=True)
+class EngineSnapshot:
+    """Copy-on-fork state of a :class:`FlatEngine` calendar.
+
+    ``departures`` is the heap list captured verbatim (a valid heap in its
+    own right; entries are immutable tuples).  ``next_arrival_index`` counts
+    arrivals already *dispatched* from the bound stream — the caller owns the
+    stream, so restoring means re-binding the stream from that index via
+    :meth:`FlatEngine.bind_arrivals`.  ``sequence`` restores the departure
+    tie-break counter, which is what makes a forked continuation order
+    equal-time departures bit-identically to the uninterrupted run.
+    """
+
+    now: float
+    sequence: int
+    departures: tuple[tuple[float, int, Any], ...]
+    next_arrival_index: int
+
+
 class FlatEngine:
     """Arrival/departure calendar with no generators and no callbacks.
 
-    One engine drives one run: :meth:`run` consumes the arrival iterator and
-    drains the departure heap, advancing :attr:`now` monotonically.  Arrivals
-    must be sorted by arrival time (ties keep iterator order); an
-    out-of-order arrival raises :class:`SimulationError` rather than
-    silently reordering history.
+    One engine drives one run: bind the arrival iterator, then
+    :meth:`advance` consumes it and drains the departure heap, advancing
+    :attr:`now` monotonically.  Arrivals must be sorted by arrival time
+    (ties keep iterator order); an out-of-order arrival raises
+    :class:`SimulationError` rather than silently reordering history.
     """
 
-    __slots__ = ("_now", "_departures", "_sequence")
+    __slots__ = ("_now", "_departures", "_sequence", "_arrivals", "_pending", "_consumed")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._departures: list[tuple[float, int, Any]] = []
         self._sequence = 0
+        self._arrivals: Iterator[ResolvedRequest] | None = None
+        self._pending: ResolvedRequest | None = None
+        self._consumed = 0
 
     @property
     def now(self) -> float:
@@ -62,8 +92,40 @@ class FlatEngine:
         """Departures still pending (VMs currently holding resources)."""
         return len(self._departures)
 
+    @property
+    def next_arrival_index(self) -> int:
+        """Index (into the bound stream) of the next un-dispatched arrival."""
+        return self._consumed - (1 if self._pending is not None else 0)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no arrival or departure remains on the calendar."""
+        return self._pending is None and not self._departures
+
+    def bind_arrivals(
+        self, arrivals: Iterable[ResolvedRequest], consumed: int = 0
+    ) -> None:
+        """Attach the arrival stream (pre-fetching its head).
+
+        ``consumed`` seeds the dispatched-arrival counter when the stream is
+        a suffix of a longer trace — the restore path passes the snapshot's
+        ``next_arrival_index`` here so subsequent snapshots stay aligned with
+        the full trace.
+        """
+        self._arrivals = iter(arrivals)
+        self._consumed = consumed
+        self._pending = next(self._arrivals, None)
+        if self._pending is not None:
+            self._consumed += 1
+
+    def _pop_arrival(self) -> None:
+        assert self._arrivals is not None
+        self._pending = next(self._arrivals, None)
+        if self._pending is not None:
+            self._consumed += 1
+
     def schedule_departure(self, time: float, payload: Any) -> None:
-        """Enqueue a departure at an absolute time (used by :meth:`run`)."""
+        """Enqueue a departure at an absolute time (used by :meth:`advance`)."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule a departure into the past: {time} < {self._now}"
@@ -78,21 +140,31 @@ class FlatEngine:
         on_departure: DepartureHandler,
         until: float | None = None,
     ) -> float:
+        """One-shot convenience: bind ``arrivals`` and advance the calendar."""
+        self.bind_arrivals(arrivals)
+        return self.advance(on_arrival, on_departure, until=until)
+
+    def advance(
+        self,
+        on_arrival: ArrivalHandler,
+        on_departure: DepartureHandler,
+        until: float | None = None,
+    ) -> float:
         """Drive the calendar until both queues drain (or past ``until``).
 
         Returns the final clock.  With ``until`` given, events strictly after
         ``until`` are left unprocessed and the clock lands exactly on
         ``until`` — matching ``Environment.run`` semantics, so a partial run
-        leaves cluster state comparable across engines.
+        leaves cluster state comparable across engines.  Calling
+        :meth:`advance` again continues from where the last call stopped.
         """
         if until is not None and until < self._now:
             raise SimulationError(
                 f"until={until} is before current time {self._now}"
             )
         departures = self._departures
-        it = iter(arrivals)
-        pending = next(it, None)
-        while pending is not None or departures:
+        while self._pending is not None or departures:
+            pending = self._pending
             if pending is not None and (
                 not departures or pending.vm.arrival <= departures[0][0]
             ):
@@ -110,7 +182,7 @@ class FlatEngine:
                 payload = on_arrival(pending, time)
                 if payload is not None:
                     self.schedule_departure(pending.vm.departure, payload)
-                pending = next(it, None)
+                self._pop_arrival()
             else:
                 time = departures[0][0]
                 if until is not None and time > until:
@@ -122,3 +194,33 @@ class FlatEngine:
         if until is not None:
             self._now = max(self._now, until)
         return self._now
+
+    # ------------------------------------------------------------------ #
+    # Fork support
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the calendar: clock, tie-break counter, departure heap,
+        and the position of the next un-dispatched arrival."""
+        return EngineSnapshot(
+            now=self._now,
+            sequence=self._sequence,
+            departures=tuple(self._departures),
+            next_arrival_index=self.next_arrival_index,
+        )
+
+    def restore(
+        self, snap: EngineSnapshot, arrivals: Iterable[ResolvedRequest]
+    ) -> None:
+        """Rewind the calendar to ``snap``.
+
+        ``arrivals`` must be the original stream's suffix starting at
+        ``snap.next_arrival_index`` — the engine cannot rewind an iterator it
+        does not own.  The departure heap entries come back verbatim
+        (payloads included), so continuation is bit-identical as long as the
+        caller also rewinds whatever state those payloads reference.
+        """
+        self._now = snap.now
+        self._sequence = snap.sequence
+        self._departures = list(snap.departures)
+        self.bind_arrivals(arrivals, consumed=snap.next_arrival_index)

@@ -75,6 +75,18 @@ class EventLog:
     def __len__(self) -> int:
         return len(self.events)
 
+    def truncate(self, count: int) -> None:
+        """Rewind the log to its first ``count`` events (fork support).
+
+        The log is append-only, so a fork checkpoint only stores its length;
+        restoring discards everything the abandoned branch recorded.
+        """
+        if count < 0 or count > len(self.events):
+            raise SimulationError(
+                f"cannot truncate {len(self.events)} events to {count}"
+            )
+        del self.events[count:]
+
     # ------------------------------------------------------------------ #
     # Export / import
     # ------------------------------------------------------------------ #

@@ -20,23 +20,38 @@ Two engines drive the same lifecycle:
 
 The default can be overridden process-wide with the ``REPRO_SIM_ENGINE``
 environment variable (used by the benchmark harness).
+
+Forkable runs
+-------------
+Beyond the one-shot :meth:`DDCSimulator.run`, the flat engine supports a
+*stateful* run protocol for what-if studies: :meth:`start_run` binds the
+trace, :meth:`advance` drives it to any horizon, :meth:`full_checkpoint`
+captures the complete run state in O(cluster + links + active VMs) — compute
+and network occupancy, link capacities, metric tallies and gauge integrals,
+the event calendar, scheduler cursors, and the event-log length —
+:meth:`restore_run` rewinds to it in place, and :meth:`fork` clones the live
+run into an independent simulator.  Continuations are bit-identical to the
+uninterrupted run: same event digests, same :class:`RunSummary`.  The
+scenario engine in :mod:`repro.experiments.scenarios` builds branching
+what-if sweeps on these primitives.
 """
 
 from __future__ import annotations
 
-import os
 import time as _time
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 from ..config import ClusterSpec
 from ..errors import SimulationError
-from ..metrics import MetricsCollector, RunSummary, summarize
+from ..metrics import MetricsCollector, MetricsSnapshot, RunSummary, summarize
 from ..network import NetworkFabric
 from ..schedulers import Placement, Scheduler, create_scheduler
 from ..topology import Cluster, build_cluster
+from ..types import RESOURCE_ORDER
 from ..workloads import ResolvedRequest, VMRequest, resolve_all, resolve_iter
-from .engine import FlatEngine
+from .engine import EngineSnapshot, FlatEngine
 from .environment import Environment
 from .event_log import EventLog
 from .results import SimulationResult
@@ -55,11 +70,39 @@ class SimCheckpoint:
     Captures per-box brick occupancy and per-link reserved bandwidth — the
     state an oversubscribed what-if run mutates.  It deliberately excludes
     metrics, the event log, and scheduler cursors: a rollback rewinds the
-    *cluster*, not the experiment record.
+    *cluster*, not the experiment record.  For a rewind of the whole
+    experiment, see :class:`RunCheckpoint`.
     """
 
     cluster: tuple[tuple[int, ...], ...]
     fabric: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RunCheckpoint:
+    """Full-state checkpoint of a mid-trace run (the fork point).
+
+    Everything :meth:`DDCSimulator.restore_run` needs to resume with a
+    guaranteed bit-identical continuation: resource occupancy, link
+    capacities (what-if perturbations are part of run state), the engine
+    calendar (departure heap + arrival position + tie-break counter), the
+    metrics collector's scalar state, scheduler-private state, the event-log
+    length, and the admission-control setting.  Append-only histories
+    (records, per-VM energy, the event log) are captured by *length* only —
+    O(1) each — so checkpoints cost O(cluster + links + active VMs), not
+    O(trace).
+    """
+
+    time: float
+    cluster: tuple[tuple[int, ...], ...]
+    drained_racks: tuple[int, ...]
+    fabric_used: tuple[float, ...]
+    fabric_capacity: tuple[float, ...]
+    engine: EngineSnapshot
+    metrics: MetricsSnapshot
+    scheduler_state: object | None
+    event_count: int
+    admission_threshold: float | None
 
 
 def default_engine() -> str:
@@ -84,6 +127,7 @@ class DDCSimulator:
         event_log: EventLog | None = None,
         engine: str | None = None,
         keep_records: bool = True,
+        admission_threshold: float | None = None,
     ) -> None:
         self.spec = spec
         self.cluster = cluster if cluster is not None else build_cluster(spec)
@@ -107,6 +151,16 @@ class DDCSimulator:
             raise SimulationError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
+        #: Utilization-based admission control: a new arrival is rejected
+        #: (dropped without consulting the scheduler) while any compute
+        #: resource's cluster utilization exceeds this fraction.  ``None``
+        #: (the default) disables the gate — bit-identical to the paper's
+        #: schedule-or-drop behavior.  Mutable mid-run: the scenario
+        #: engine's admission branches flip it at the fork point.
+        self.admission_threshold = admission_threshold
+        # Stateful (forkable) run machinery; populated by start_run().
+        self._flat: FlatEngine | None = None
+        self._trace: tuple[ResolvedRequest, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # What-if checkpointing (oversubscription rollback)
@@ -135,10 +189,24 @@ class DDCSimulator:
     # the generator engine reaches them through _vm_process)
     # ------------------------------------------------------------------ #
 
+    def _admission_rejects(self) -> bool:
+        """True when the admission gate should turn the arrival away."""
+        threshold = self.admission_threshold
+        return any(
+            self.cluster.utilization(rtype) > threshold for rtype in RESOURCE_ORDER
+        )
+
     def _handle_arrival(self, request: ResolvedRequest, now: float) -> Placement | None:
         """Schedule-or-drop one arrival; returns the placement (None = drop)."""
         if self.event_log is not None:
             self.event_log.record(now, "arrival", request.vm_id)
+        if self.admission_threshold is not None and self._admission_rejects():
+            # Rejected at admission: dropped without a scheduler decision
+            # (and without contributing to Figure 11/12 scheduler time).
+            self.collector.record_drop(request, now)
+            if self.event_log is not None:
+                self.event_log.record(now, "drop", request.vm_id)
+            return None
         start = _time.perf_counter()
         placement = self.scheduler.schedule(request)
         self.collector.add_scheduler_time(_time.perf_counter() - start)
@@ -216,6 +284,16 @@ class DDCSimulator:
 
     # ------------------------------------------------------------------ #
 
+    def _result(self, end_time: float) -> SimulationResult:
+        summary = summarize(self.scheduler.name, self.collector)
+        return SimulationResult(
+            scheduler=self.scheduler.name,
+            spec=self.spec,
+            summary=summary,
+            records=tuple(self.collector.records),
+            end_time=end_time,
+        )
+
     def run(
         self,
         vms: Iterable[VMRequest],
@@ -233,14 +311,192 @@ class DDCSimulator:
             end_time = self._run_flat(vms, until, stream)
         else:
             end_time = self._run_generator(vms, until)
-        summary = summarize(self.scheduler.name, self.collector)
-        return SimulationResult(
-            scheduler=self.scheduler.name,
-            spec=self.spec,
-            summary=summary,
-            records=tuple(self.collector.records),
-            end_time=end_time,
+        return self._result(end_time)
+
+    # ------------------------------------------------------------------ #
+    # Stateful (forkable) runs — flat engine only
+    # ------------------------------------------------------------------ #
+
+    @property
+    def run_started(self) -> bool:
+        """True once :meth:`start_run` has bound a trace."""
+        return self._flat is not None
+
+    @property
+    def now(self) -> float:
+        """Current clock of the stateful run."""
+        return self._require_run().now
+
+    @property
+    def trace(self) -> tuple[ResolvedRequest, ...]:
+        """The resolved, arrival-ordered trace of the stateful run."""
+        self._require_run()
+        assert self._trace is not None
+        return self._trace
+
+    def _require_run(self) -> FlatEngine:
+        if self._flat is None:
+            raise SimulationError(
+                "no stateful run is active; call start_run(vms) first"
+            )
+        return self._flat
+
+    def start_run(self, vms: Iterable[VMRequest]) -> None:
+        """Begin a resumable run: resolve and bind the trace.
+
+        Unlike :meth:`run`, no events are processed yet — drive the clock
+        with :meth:`advance` / :meth:`finish`.  Forkable runs materialize
+        the resolved trace (checkpoints store an *index* into it), so
+        streaming traces are not supported here.
+        """
+        if self.engine != "flat":
+            raise SimulationError(
+                "forkable runs require the flat engine; "
+                f"this simulator uses {self.engine!r}"
+            )
+        self._trace = tuple(self._arrival_ordered(vms, stream=False))
+        self._flat = FlatEngine()
+        self._flat.bind_arrivals(iter(self._trace))
+
+    def advance(self, until: float | None = None) -> float:
+        """Drive the stateful run (to ``until``, or until the trace drains).
+
+        Returns the clock.  Events exactly at ``until`` are processed;
+        later ones wait for the next call — so an ``advance(t)`` /
+        checkpoint / ``advance()`` sequence replays the uninterrupted run
+        event for event.
+        """
+        engine = self._require_run()
+        return engine.advance(
+            self._handle_arrival, self._handle_departure, until=until
         )
+
+    def finish(self) -> SimulationResult:
+        """Drain the remaining trace and summarize the run."""
+        engine = self._require_run()
+        end_time = engine.advance(self._handle_arrival, self._handle_departure)
+        return self._result(end_time)
+
+    def full_checkpoint(self) -> RunCheckpoint:
+        """Capture the complete state of the stateful run (the fork point).
+
+        O(cluster + links + active VMs): occupancy snapshots, scalar metric
+        tallies and gauge integrals, the departure heap, and the lengths of
+        the append-only histories.  Restoring (or forking from) it resumes
+        with bit-identical event digests and summaries.
+        """
+        engine = self._require_run()
+        return RunCheckpoint(
+            time=engine.now,
+            cluster=self.cluster.snapshot(),
+            drained_racks=tuple(sorted(self.cluster.drained_racks)),
+            fabric_used=self.fabric.snapshot(),
+            fabric_capacity=self.fabric.capacity_snapshot(),
+            engine=engine.snapshot(),
+            metrics=self.collector.snapshot(),
+            scheduler_state=self.scheduler.snapshot_state(),
+            event_count=len(self.event_log) if self.event_log is not None else 0,
+            admission_threshold=self.admission_threshold,
+        )
+
+    def restore_run(self, checkpoint: RunCheckpoint) -> None:
+        """Rewind the stateful run to a :meth:`full_checkpoint` in place.
+
+        Capacities restore before occupancy (occupancy validates against
+        capacity), occupancy restores through the listener-backed APIs (all
+        derived indexes follow), histories truncate back to their
+        checkpoint lengths, and the engine re-binds the trace suffix.  Any
+        perturbation the abandoned branch applied — admission thresholds,
+        tier capacity scaling, pod drains — is undone wholesale.
+        """
+        engine = self._require_run()
+        assert self._trace is not None
+        self.fabric.restore_capacities(checkpoint.fabric_capacity)
+        self.cluster.restore(checkpoint.cluster)
+        if checkpoint.drained_racks:
+            # The snapshot already holds the drained occupancy; this only
+            # re-arms the stickiness cluster.restore() lifted.
+            self.cluster.drain_racks(checkpoint.drained_racks)
+        self.fabric.restore(checkpoint.fabric_used)
+        self.collector.restore(checkpoint.metrics)
+        self.scheduler.restore_state(checkpoint.scheduler_state)
+        if self.event_log is not None:
+            self.event_log.truncate(checkpoint.event_count)
+        self.admission_threshold = checkpoint.admission_threshold
+        suffix = self._trace[checkpoint.engine.next_arrival_index:]
+        engine.restore(checkpoint.engine, iter(suffix))
+
+    def fork(self) -> "DDCSimulator":
+        """Clone the live stateful run into an independent simulator.
+
+        The fork gets its own cluster, fabric, scheduler, collector, and
+        event log, all rewound to this run's current state — including any
+        perturbations already applied — and resumes from the same mid-trace
+        position with a guaranteed bit-identical continuation.  Committed
+        placements on the departure calendar are re-bound to the clone's
+        boxes and links (receipts are plain data; circuits are re-pointed by
+        link id), so neither run can observe the other's mutations.  The
+        resolved trace itself is immutable and shared.
+
+        Cost: O(cluster + links + active VMs) for the calendar and occupancy
+        state — but the accumulated histories (the event log, and per-VM
+        records/power entries under ``keep_records=True``) must be *copied*
+        so the branches can append independently, which is O(events so far).
+        Record-free runs with no event log (the sweep/scenario default) keep
+        forks cheap; for many branches off one point, prefer
+        :meth:`full_checkpoint`/:meth:`restore_run`, which rewind histories
+        by length instead of copying them.
+        """
+        engine = self._require_run()
+        assert self._trace is not None
+        clone = DDCSimulator(
+            self.spec,
+            self.scheduler.name,
+            event_log=EventLog(self.event_log.events)
+            if self.event_log is not None
+            else None,
+            engine="flat",
+            keep_records=self.collector.keep_records,
+            admission_threshold=self.admission_threshold,
+        )
+        clone.fabric.restore_capacities(self.fabric.capacity_snapshot())
+        clone.cluster.restore(self.cluster.snapshot())
+        if self.cluster.drained_racks:
+            clone.cluster.drain_racks(sorted(self.cluster.drained_racks))
+        clone.fabric.restore(self.fabric.snapshot())
+        # Copy-on-fork: share the frozen per-VM entries, then rewind the
+        # clone's collector onto them (the snapshot lengths match exactly).
+        clone.collector.records.extend(self.collector.records)
+        clone.collector.power.per_vm.extend(self.collector.power.per_vm)
+        clone.collector.restore(self.collector.snapshot())
+        clone.scheduler.restore_state(self.scheduler.snapshot_state())
+        links = clone.fabric.links_by_id()
+        snap = engine.snapshot()
+        rebound = tuple(
+            (when, seq, self._rebind_placement(placement, links))
+            for when, seq, placement in snap.departures
+        )
+        clone._trace = self._trace
+        clone._flat = FlatEngine()
+        clone._flat.restore(
+            replace(snap, departures=rebound),
+            iter(self._trace[snap.next_arrival_index:]),
+        )
+        return clone
+
+    @staticmethod
+    def _rebind_placement(placement: Placement, links: dict) -> Placement:
+        """Re-point a placement's circuits at another fabric's link objects.
+
+        Box allocations are plain data (ids + brick slices) and transfer
+        as-is; circuits hold live :class:`~repro.network.link.Link` objects
+        and must be re-bound by link id so releases hit the clone's fabric.
+        """
+        circuits = tuple(
+            replace(circuit, links=tuple(links[l.link_id] for l in circuit.links))
+            for circuit in placement.circuits
+        )
+        return replace(placement, circuits=circuits)
 
 
 def simulate(

@@ -8,11 +8,20 @@ searches.
 
 from __future__ import annotations
 
+import os
+from typing import Iterable
+
 from ..errors import CapacityError, TopologyError
 from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
 from .box import Box
 from .capacity_index import CapacityIndex, index_enabled
 from .rack import Rack
+
+#: With ``REPRO_VERIFY_TOTALS=1`` every :meth:`Cluster.utilization` read
+#: asserts the O(1) running totals against a full box scan — the debug oracle
+#: for the incremental ``on_box_change`` accounting (the scan is what the
+#: totals replaced; it must never run on the hot path otherwise).
+_VERIFY_TOTALS = os.environ.get("REPRO_VERIFY_TOTALS", "") == "1"
 
 
 class Cluster:
@@ -26,6 +35,7 @@ class Cluster:
         "_total_capacity",
         "_capacity_index",
         "_pod_rack_ranges",
+        "_drained_racks",
     )
 
     def __init__(self, racks: list[Rack]) -> None:
@@ -41,6 +51,7 @@ class Cluster:
                 for box in rack.boxes(rtype):
                     self._register_box(box)
         self._pod_rack_ranges = self._derive_pod_ranges(racks)
+        self._drained_racks: set[int] = set()
         self._capacity_index = CapacityIndex(self) if index_enabled() else None
         for rack in racks:
             rack.bind_capacity_index(self._capacity_index)
@@ -92,11 +103,15 @@ class Cluster:
         return len(self._pod_rack_ranges)
 
     def pod_rack_range(self, pod_index: int) -> tuple[int, int]:
-        """The contiguous ``[lo, hi)`` rack-index range of one pod."""
-        try:
-            return self._pod_rack_ranges[pod_index]
-        except IndexError:
-            raise TopologyError(f"no pod with index {pod_index}") from None
+        """The contiguous ``[lo, hi)`` rack-index range of one pod.
+
+        Negative indices are rejected rather than wrapped — a pod-failure
+        study that silently drained the *last* pod for ``-1`` would report
+        plausible-looking results for the wrong scenario.
+        """
+        if pod_index < 0 or pod_index >= len(self._pod_rack_ranges):
+            raise TopologyError(f"no pod with index {pod_index}")
+        return self._pod_rack_ranges[pod_index]
 
     def pod_rack_ranges(self) -> tuple[tuple[int, int], ...]:
         """Every pod's rack-index range, in pod order."""
@@ -156,11 +171,30 @@ class Cluster:
         )
 
     def utilization(self, rtype: ResourceType) -> float:
-        """Fraction of ``rtype`` capacity currently in use."""
+        """Fraction of ``rtype`` capacity currently in use.
+
+        O(1): both the availability and capacity totals are running counters
+        maintained through ``on_box_change`` — this is sampled by the metrics
+        gauges on *every* simulation event, so it must never rescan boxes.
+        The scan survives only as a debug assert (``REPRO_VERIFY_TOTALS=1``).
+        """
+        if _VERIFY_TOTALS:
+            assert self.verify_totals(rtype), (
+                f"{rtype.value} running totals diverged from the box scan: "
+                f"avail {self._total_avail[rtype]} != "
+                f"{sum(b.avail_units for b in self._boxes_by_type[rtype])}"
+            )
         cap = self._total_capacity[rtype]
         if cap == 0:
             return 0.0
         return 1.0 - self._total_avail[rtype] / cap
+
+    def verify_totals(self, rtype: ResourceType) -> bool:
+        """O(n) oracle: do the running totals match a fresh box scan?"""
+        boxes = self._boxes_by_type[rtype]
+        return self._total_avail[rtype] == sum(
+            b.avail_units for b in boxes
+        ) and self._total_capacity[rtype] == sum(b.capacity_units for b in boxes)
 
     # ------------------------------------------------------------------ #
     # Cache maintenance
@@ -168,11 +202,25 @@ class Cluster:
 
     def on_box_change(self, box: Box, delta: int) -> None:
         """Box availability changed by ``delta``; update cluster totals, the
-        capacity index, and the owning rack's cache."""
+        capacity index, and the owning rack's cache.
+
+        Drains are sticky: units freed on a drained rack (a departing tenant
+        of a failed pod) are re-occupied immediately, so the rack never
+        re-offers capacity until a restore rewinds the drain.  The nested
+        ``set_occupancy`` re-enters this listener once; the second pass sees
+        zero availability and stops.
+        """
         self._total_avail[box.rtype] += delta
         if self._capacity_index is not None:
             self._capacity_index.update_box(box)
         self.racks[box.rack_index].on_box_change(box, delta)
+        if (
+            delta > 0
+            and self._drained_racks
+            and box.rack_index in self._drained_racks
+            and box.avail_units
+        ):
+            box.set_occupancy([brick.capacity_units for brick in box.bricks])
 
     def rebuild_caches(self) -> None:
         """Recompute every derived structure — cluster totals, rack caches,
@@ -193,6 +241,43 @@ class Cluster:
             self._capacity_index.rebuild()
 
     # ------------------------------------------------------------------ #
+    # Fault injection (scenario studies)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def drained_racks(self) -> frozenset[int]:
+        """Indices of racks currently held drained (sticky until restore)."""
+        return frozenset(self._drained_racks)
+
+    def drain_racks(self, rack_indices: Iterable[int]) -> int:
+        """Mark every box of the given racks fully occupied (a drain).
+
+        The pod-failure lever of the scenario engine: no new VM can land on
+        a drained rack, while VMs already placed there keep their receipts —
+        their departures release cleanly, but the drain is *sticky*: the
+        freed units are re-occupied on the spot (via :meth:`on_box_change`),
+        so a failed pod never quietly comes back online mid-branch.  Runs
+        through the listener-backed
+        :meth:`~repro.topology.box.Box.set_occupancy` API, so rack caches,
+        cluster totals, and the capacity index all follow; :meth:`restore`
+        rewinds both the occupancy and the stickiness.
+
+        Returns the number of units newly marked occupied.
+        """
+        drained = 0
+        for rack_index in rack_indices:
+            # Reject negatives instead of letting Python's index wraparound
+            # store an alias that box.rack_index would never match.
+            if rack_index < 0 or rack_index >= len(self.racks):
+                raise TopologyError(f"no rack with index {rack_index}")
+            rack = self.racks[rack_index]
+            self._drained_racks.add(rack_index)
+            for box in rack.all_boxes():
+                drained += box.avail_units
+                box.set_occupancy([brick.capacity_units for brick in box.bricks])
+        return drained
+
+    # ------------------------------------------------------------------ #
     # Snapshots (what-if analysis and test invariants)
     # ------------------------------------------------------------------ #
 
@@ -205,7 +290,15 @@ class Cluster:
 
     def restore(self, snap: tuple[tuple[int, ...], ...]) -> None:
         """Restore occupancy captured by :meth:`snapshot`, rebuilding all
-        cached aggregates (including the capacity index)."""
+        cached aggregates (including the capacity index).
+
+        Any active drain is lifted first — a snapshot captures occupancy, so
+        restoring one rewinds a :meth:`drain_racks` perturbation wholesale
+        (callers that need the drain to survive, like
+        ``DDCSimulator.fork``/``restore_run``, re-apply it from their own
+        checkpoint after restoring).
+        """
+        self._drained_racks.clear()
         ids = sorted(self._box_by_id)
         if len(snap) != len(ids):
             raise TopologyError("snapshot shape does not match cluster")

@@ -1,0 +1,234 @@
+"""Tests for the branching what-if scenario engine."""
+
+import pytest
+
+from repro.config import paper_default, pod_scale, tiny_pod_test
+from repro.errors import SimulationError
+from repro.experiments import (
+    AdmissionThreshold,
+    PodFailure,
+    ScenarioBranch,
+    ScenarioTree,
+    SimulationSession,
+    TierCapacityScale,
+    admission_branches,
+    oversubscription_branches,
+    pod_failure_branches,
+    run_scenario_tree,
+)
+from repro.sim import simulate
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+def trace(count=300, seed=0):
+    return generate_synthetic(SyntheticWorkloadParams(count=count), seed=seed)
+
+
+def masked(summary):
+    d = summary.as_dict()
+    d.pop("scheduler_time_s")
+    return d
+
+
+class TestTreeValidation:
+    def test_duplicate_branch_names_rejected(self):
+        with pytest.raises(SimulationError, match="unique"):
+            ScenarioTree(branches=(ScenarioBranch("a"), ScenarioBranch("a")))
+
+    def test_baseline_name_reserved(self):
+        with pytest.raises(SimulationError, match="unique"):
+            ScenarioTree(branches=(ScenarioBranch("baseline"),))
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(SimulationError, match="no branches"):
+            ScenarioTree(branches=(), include_baseline=False)
+
+    def test_fork_fraction_bounds(self):
+        with pytest.raises(SimulationError, match="fork_fraction"):
+            ScenarioTree(branches=(ScenarioBranch("a"),), fork_fraction=1.0)
+
+    def test_bad_admission_threshold_rejected(self):
+        with pytest.raises(SimulationError, match="admission threshold"):
+            AdmissionThreshold(1.5)
+
+    def test_bad_capacity_factor_rejected(self):
+        with pytest.raises(SimulationError, match="positive"):
+            TierCapacityScale(0.0)
+
+    def test_branch_builders(self):
+        assert [b.name for b in admission_branches((0.5, 0.9))] == [
+            "admit<=0.5",
+            "admit<=0.9",
+        ]
+        assert [b.name for b in oversubscription_branches((0.5,), tier=-1)] == [
+            "topx0.5"
+        ]
+        assert [b.name for b in oversubscription_branches((2.0,), tier="spine")] == [
+            "spinex2"
+        ]
+        assert [b.name for b in pod_failure_branches((0, 1))] == [
+            "pod0-down",
+            "pod1-down",
+        ]
+
+
+class TestScenarioExecution:
+    def test_baseline_branch_matches_cold_run(self):
+        """The unperturbed branch reproduces a cold full-trace run exactly
+        — despite having been forked mid-trace from the warm prefix."""
+        spec = paper_default()
+        vms = trace(count=200)
+        cold = simulate(spec, "risa", vms, keep_records=False)
+        tree = ScenarioTree(branches=tuple(admission_branches((0.4,))))
+        outcome = run_scenario_tree(spec, "risa", vms, tree)
+        baseline = outcome.branch("baseline")
+        assert masked(baseline.summary) == masked(cold.summary)
+        assert baseline.end_time == cold.end_time
+
+    def test_admission_tightening_is_monotone(self):
+        """Tighter thresholds can only drop more VMs, all off one prefix."""
+        spec = paper_default()
+        vms = trace(count=1200, seed=0)
+        tree = ScenarioTree(
+            branches=tuple(admission_branches((0.3, 0.5, 0.7))),
+            fork_fraction=0.25,
+        )
+        outcome = run_scenario_tree(spec, "risa", vms, tree)
+        drops = [
+            outcome.branch(name).summary.dropped_vms
+            for name in ("admit<=0.3", "admit<=0.5", "admit<=0.7", "baseline")
+        ]
+        assert drops == sorted(drops, reverse=True)
+        assert drops[0] > drops[-1]  # the tightest gate actually bites
+
+    def test_pod_failure_shifts_load(self):
+        """Draining a pod mid-trace keeps its racks out of new placements."""
+        spec = tiny_pod_test(num_pods=2, racks_per_pod=2)
+        vms = trace(count=200, seed=1)
+        tree = ScenarioTree(branches=tuple(pod_failure_branches((0,))))
+        outcome = run_scenario_tree(spec, "risa", vms, tree)
+        failed = outcome.branch("pod0-down").summary
+        baseline = outcome.branch("baseline").summary
+        # Fewer boxes -> the failed branch can only do worse or equal.
+        assert failed.scheduled_vms <= baseline.scheduled_vms
+        assert masked(failed) != masked(baseline)
+
+    def test_tier_scaling_changes_network_outcomes(self):
+        spec = pod_scale(num_pods=2, racks_per_pod=4)
+        vms = trace(count=800, seed=0)
+        tree = ScenarioTree(
+            branches=tuple(oversubscription_branches((0.05,), tier=-1)),
+            fork_fraction=0.25,
+        )
+        outcome = run_scenario_tree(spec, "nalb", vms, tree)
+        scaled = outcome.branch(outcome.branches[1].branch).summary
+        baseline = outcome.branch("baseline").summary
+        assert masked(scaled) != masked(baseline)
+
+    def test_fork_time_respects_fraction(self):
+        vms = trace(count=100)
+        times = sorted(vm.arrival for vm in vms)
+        tree = ScenarioTree(branches=(ScenarioBranch("a"),), fork_fraction=0.5)
+        assert tree.fork_time(vms) == times[50]
+
+
+class TestScenarioSession:
+    def test_grid_order_and_lookup(self):
+        session = SimulationSession(paper_default(), parallel=1)
+        tree = ScenarioTree(branches=tuple(admission_branches((0.5,))))
+        result = session.scenarios(
+            tree, schedulers=("risa", "nulb"), seeds=(0, 1), count=60
+        )
+        assert len(result) == 4
+        assert [(o.scheduler, o.seed) for o in result.outcomes] == [
+            ("risa", 0), ("nulb", 0), ("risa", 1), ("nulb", 1),
+        ]
+        assert result.branch_names() == ("baseline", "admit<=0.5")
+        assert result.schedulers() == ("risa", "nulb")
+        assert len(result.summaries("risa", "baseline")) == 2
+
+    def test_parallel_matches_serial(self):
+        tree = ScenarioTree(branches=tuple(admission_branches((0.4,))))
+        kwargs = dict(schedulers=("risa", "nulb"), seeds=(0, 1), count=80)
+        serial = SimulationSession(paper_default(), parallel=1).scenarios(
+            tree, **kwargs
+        )
+        parallel = SimulationSession(paper_default(), parallel=2).scenarios(
+            tree, **kwargs
+        )
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert (a.scheduler, a.seed, a.fork_time) == (b.scheduler, b.seed, b.fork_time)
+            for ba, bb in zip(a.branches, b.branches):
+                assert ba.branch == bb.branch
+                assert masked(ba.summary) == masked(bb.summary)
+                assert ba.end_time == bb.end_time
+
+    def test_table_renders(self):
+        session = SimulationSession(paper_default(), parallel=1)
+        tree = ScenarioTree(branches=tuple(admission_branches((0.5,))))
+        result = session.scenarios(tree, schedulers=("risa",), seeds=(0,), count=40)
+        table = result.table(["scheduled_vms", "dropped_vms"])
+        assert "baseline" in table and "admit<=0.5" in table
+
+    def test_missing_branch_lookup_raises(self):
+        session = SimulationSession(paper_default(), parallel=1)
+        tree = ScenarioTree(branches=tuple(admission_branches((0.5,))))
+        result = session.scenarios(tree, schedulers=("risa",), seeds=(0,), count=40)
+        with pytest.raises(KeyError):
+            result.outcomes[0].branch("nope")
+
+
+class TestScenariosCLI:
+    def test_cli_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "scenarios", "--count", "80", "--admission", "0.5",
+            "--scale-tier", "0.5", "--fork-at", "0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "admit<=0.5" in out and "topx0.5" in out
+
+    def test_cli_requires_branches(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no branches"):
+            main(["scenarios", "--count", "40"])
+
+    def test_cli_rejects_zero_seeds(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="seeds"):
+            main(["scenarios", "--count", "40", "--admission", "0.5",
+                  "--seeds", "0"])
+
+    def test_cli_domain_errors_become_usage_errors(self):
+        """Bad fork fractions and unknown pods exit cleanly, no traceback."""
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="fork_fraction"):
+            main(["scenarios", "--count", "40", "--admission", "0.5",
+                  "--fork-at", "1.0"])
+        with pytest.raises(SystemExit, match="pod"):
+            main(["scenarios", "--preset", "tiny-pod", "--count", "40",
+                  "--fail-pod", "9"])
+        # -1 must not wrap around and silently drain the last pod.
+        with pytest.raises(SystemExit, match="no pod"):
+            main(["scenarios", "--preset", "tiny-pod", "--count", "40",
+                  "--fail-pod", "-1"])
+        with pytest.raises(SystemExit, match="admission threshold"):
+            main(["scenarios", "--count", "40", "--admission", "1.5"])
+        with pytest.raises(SystemExit, match="positive"):
+            main(["scenarios", "--count", "40", "--scale-tier", "0"])
+
+    def test_cli_pod_failure_on_pod_preset(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "scenarios", "--preset", "tiny-pod", "--count", "60",
+            "--fail-pod", "0", "--schedulers", "risa_pod",
+        ])
+        assert code == 0
+        assert "pod0-down" in capsys.readouterr().out

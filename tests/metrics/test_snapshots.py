@@ -1,0 +1,114 @@
+"""Unit tests for the metric-layer fork primitives (gauge restart and
+gauge/power/collector snapshot-restore)."""
+
+import pytest
+
+from repro.config import tiny_test
+from repro.errors import SimulationError
+from repro.metrics import MetricsCollector, TimeWeightedGauge
+from repro.network import NetworkFabric
+from repro.sim import DDCSimulator
+from repro.topology import build_cluster
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+
+class TestGaugeRestart:
+    def test_restart_equals_fresh_construction(self):
+        gauge = TimeWeightedGauge()
+        gauge.update(5.0, 0.8)
+        gauge.update(9.0, 0.2)
+        gauge.restart(9.0)
+        fresh = TimeWeightedGauge(0.0, 9.0)
+        assert gauge.snapshot() == fresh.snapshot()
+        assert gauge.value == 0.0
+        assert gauge.peak == 0.0
+        gauge.update(11.0, 0.5)
+        fresh.update(11.0, 0.5)
+        assert gauge.average() == fresh.average()
+
+
+class TestGaugeSnapshot:
+    def test_roundtrip_preserves_integral_bits(self):
+        gauge = TimeWeightedGauge()
+        for i in range(1, 50):
+            gauge.update(i * 0.37, (i % 7) / 7.0)
+        state = gauge.snapshot()
+        expected_avg = gauge.average()
+        expected_peak = gauge.peak
+        gauge.update(100.0, 1.0)
+        gauge.restore(state)
+        assert gauge.average() == expected_avg
+        assert gauge.peak == expected_peak
+        assert gauge.snapshot() == state
+
+    def test_diverge_then_restore_then_replay_is_identical(self):
+        a = TimeWeightedGauge()
+        b = TimeWeightedGauge()
+        for i in range(1, 20):
+            a.update(float(i), i / 20.0)
+            b.update(float(i), i / 20.0)
+        state = b.snapshot()
+        b.update(25.0, 0.9)  # divergent branch
+        b.restore(state)
+        for t, v in ((21.0, 0.3), (22.5, 0.6)):
+            a.update(t, v)
+            b.update(t, v)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestCollectorSnapshot:
+    def _collector_after_run(self):
+        spec = tiny_test()
+        sim = DDCSimulator(spec, "risa")
+        vms = generate_synthetic(SyntheticWorkloadParams(count=60), seed=0)
+        sim.run(vms)
+        return sim.collector
+
+    def test_restore_rewinds_records_and_tallies(self):
+        collector = self._collector_after_run()
+        snap = collector.snapshot()
+        assert snap.record_count == len(collector.records)
+        # Simulate further accounting, then rewind.
+        collector.add_scheduler_time(1.0)
+        collector.restore(snap)
+        assert collector.snapshot() == snap
+
+    def test_restore_rejects_foreign_history(self):
+        collector = self._collector_after_run()
+        snap = collector.snapshot()
+        spec = tiny_test()
+        cluster = build_cluster(spec)
+        fresh = MetricsCollector(spec, cluster, NetworkFabric(spec, cluster))
+        with pytest.raises(SimulationError, match="rewind"):
+            fresh.restore(snap)
+
+    def test_restore_rejects_mismatched_gauges(self):
+        from repro.config import pod_scale
+
+        collector = self._collector_after_run()
+        pod_spec = pod_scale(num_pods=2, racks_per_pod=2)
+        cluster = build_cluster(pod_spec)
+        other = MetricsCollector(pod_spec, cluster, NetworkFabric(pod_spec, cluster))
+        with pytest.raises(SimulationError, match="gauges"):
+            collector.restore(other.snapshot())
+
+    def test_power_report_roundtrip(self):
+        collector = self._collector_after_run()
+        power = collector.power
+        state = power.snapshot()
+        total_before = power.total_energy_j
+        entries_before = len(power.per_vm)
+        # A divergent branch records more energy...
+        power.record(power.per_vm[0])
+        assert power.total_energy_j > total_before
+        # ...and the restore discards it.
+        power.restore(state)
+        assert power.total_energy_j == total_before
+        assert len(power.per_vm) == entries_before
+
+    def test_power_restore_rejects_regrow(self):
+        collector = self._collector_after_run()
+        power = collector.power
+        state = (0.0, 0.0, len(power.per_vm) + 1)
+        with pytest.raises(SimulationError, match="rewind"):
+            power.restore(state)

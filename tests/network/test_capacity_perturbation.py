@@ -1,0 +1,105 @@
+"""Tier-capacity perturbation and its bit-exact rewind (the what-if
+oversubscription lever)."""
+
+import pytest
+
+from repro.config import paper_default, pod_scale
+from repro.errors import NetworkAllocationError, TopologyError
+from repro.network import NetworkFabric
+from repro.topology import build_cluster
+
+
+def build_fabric(spec=None):
+    spec = spec if spec is not None else paper_default()
+    cluster = build_cluster(spec)
+    return NetworkFabric(spec, cluster), cluster
+
+
+class TestScaleTierCapacity:
+    def test_scales_links_bundles_and_tier(self):
+        fabric, _ = build_fabric()
+        top = fabric.tiers[-1]
+        before = fabric.tier_capacity_gbps(top)
+        bundle = fabric.tier_bundles(top.level)[0]
+        link_before = bundle.links[0].capacity_gbps
+        fabric.scale_tier_capacity(-1, 0.5)
+        assert fabric.tier_capacity_gbps(top) == before * 0.5
+        assert bundle.links[0].capacity_gbps == link_before * 0.5
+        assert bundle.capacity_gbps == sum(l.capacity_gbps for l in bundle.links)
+
+    def test_resolves_tier_by_name_level_and_id(self):
+        fabric, _ = build_fabric(pod_scale(num_pods=2, racks_per_pod=2))
+        spine = fabric.tiers[-1]
+        assert fabric.resolve_tier(spine) is spine
+        assert fabric.resolve_tier(-1) is spine
+        assert fabric.resolve_tier(spine.level) is spine
+        assert fabric.resolve_tier(spine.name) is spine
+        with pytest.raises(TopologyError, match="no tier named"):
+            fabric.resolve_tier("warp")
+        with pytest.raises(TopologyError, match="no tier level"):
+            fabric.resolve_tier(99)
+
+    def test_rejects_non_positive_factor(self):
+        fabric, _ = build_fabric()
+        with pytest.raises(TopologyError, match="positive"):
+            fabric.scale_tier_capacity(-1, 0.0)
+
+    def test_shrink_below_reservation_grandfathers_circuits(self):
+        """A tightening leaves committed circuits intact: they still release
+        cleanly, and no new allocation fits until they do."""
+        fabric, cluster = build_fabric()
+        boxes = cluster.all_boxes()
+        a, b = boxes[0].box_id, boxes[-1].box_id
+        circuit = fabric.allocate_flow(a, b, 150.0)
+        assert circuit is not None
+        fabric.scale_tier_capacity(-1, 0.5)  # 200 -> 100 Gb/s links
+        assert fabric.allocate_flow(a, b, 150.0) is None  # no headroom
+        fabric.release(circuit)  # grandfathered release stays clean
+        top = fabric.tiers[-1]
+        assert fabric.tier_used_gbps(top) == 0.0
+
+
+class TestCapacityRewind:
+    def test_roundtrip_is_bit_exact(self):
+        """scale -> restore must reproduce construction-time floats exactly
+        (tier utilization denominators feed the pinned gauges)."""
+        fabric, _ = build_fabric()
+        caps = fabric.capacity_snapshot()
+        tier_caps = {t: fabric.tier_capacity_gbps(t) for t in fabric.tiers}
+        bundle_caps = [
+            b.capacity_gbps
+            for level in range(fabric.num_tiers)
+            for b in fabric.tier_bundles(level)
+        ]
+        fabric.scale_tier_capacity(-1, 1 / 3)  # a factor with float residue
+        fabric.scale_tier_capacity(0, 0.7)
+        fabric.restore_capacities(caps)
+        assert fabric.capacity_snapshot() == caps
+        assert {t: fabric.tier_capacity_gbps(t) for t in fabric.tiers} == tier_caps
+        assert [
+            b.capacity_gbps
+            for level in range(fabric.num_tiers)
+            for b in fabric.tier_bundles(level)
+        ] == bundle_caps
+
+    def test_restore_rejects_wrong_shape(self):
+        fabric, _ = build_fabric()
+        with pytest.raises(TopologyError, match="shape"):
+            fabric.restore_capacities((200.0,))
+
+    def test_bundle_rejects_wrong_length_and_bad_values(self):
+        fabric, _ = build_fabric()
+        bundle = fabric.tier_bundles(0)[0]
+        with pytest.raises(NetworkAllocationError, match="capacities"):
+            bundle.set_link_capacities([100.0])
+        with pytest.raises(NetworkAllocationError, match="positive"):
+            bundle.set_link_capacities([0.0] * len(bundle.links))
+
+    def test_selection_index_follows_capacity_changes(self):
+        """The free-link tree sees resized headroom immediately."""
+        fabric, cluster = build_fabric()
+        bundle = fabric.box_bundle(cluster.all_boxes()[0].box_id)
+        assert bundle.can_fit(150.0)
+        bundle.set_link_capacities([100.0] * len(bundle.links))
+        assert not bundle.can_fit(150.0)
+        assert bundle.max_link_avail_gbps() == 100.0
