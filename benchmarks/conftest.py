@@ -11,11 +11,20 @@ Set ``REPRO_BENCH_QUICK=1`` to run the reduced workloads instead, and
 ``REPRO_BENCH_ENGINE=flat|generator`` to pick the simulation engine every
 benchmarked experiment runs on (it is forwarded to ``REPRO_SIM_ENGINE``, the
 process-wide default the simulator reads).
+
+Every benchmark session also merges its measurements into a consolidated
+``BENCH_results.json`` (override the path with ``REPRO_BENCH_RESULTS``):
+one flat ``{test name -> {min_s, mean_s, rounds, quick, extra_info}}`` map,
+updated in place across the separate per-file pytest invocations CI runs,
+so the per-PR performance trajectory stays machine-readable from a single
+artifact instead of five pytest-benchmark dumps.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -32,6 +41,37 @@ def bench_quick() -> bool:
 def quick() -> bool:
     """Session-wide quick-mode flag."""
     return bench_quick()
+
+
+def results_path() -> Path:
+    """Where the consolidated results land (repo root by default)."""
+    return Path(os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's benchmark stats into ``BENCH_results.json``.
+
+    CI runs each ``bench_*.py`` file as its own pytest invocation; merging
+    (rather than overwriting) consolidates them all into one file.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    path = results_path()
+    try:
+        consolidated = json.loads(path.read_text())
+    except (OSError, ValueError):
+        consolidated = {}
+    for bench in bench_session.benchmarks:
+        stats = bench.stats
+        consolidated[bench.name] = {
+            "min_s": stats.min,
+            "mean_s": stats.mean,
+            "rounds": stats.rounds,
+            "quick": bench_quick(),
+            "extra_info": dict(bench.extra_info),
+        }
+    path.write_text(json.dumps(consolidated, indent=2, sort_keys=True) + "\n")
 
 
 def run_figure(benchmark, driver, quick: bool):

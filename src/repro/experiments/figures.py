@@ -8,9 +8,12 @@ shrinks workloads for test/CI speed; the shapes are preserved.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from ..analysis import ComparisonResult, compare_schedulers, grouped_bars
 from ..config import paper_default
 from ..schedulers import PAPER_SCHEDULERS
+from ..state import state_backend
 from ..topology import placement_mode
 from ..workloads import azure_subset_counts, cpu_histogram, ram_histogram
 from .base import ExperimentResult
@@ -299,6 +302,7 @@ def run_fig10(quick: bool = False, seed: int = 0) -> ExperimentResult:
 TIMING_REPEATS = 3
 
 
+@contextmanager
 def _reference_placement():
     """Run with the paper's reference (linear-scan) placement search.
 
@@ -306,9 +310,13 @@ def _reference_placement():
     implemented them* — NALB is the slowest precisely because it sorts the
     candidate list per VM.  The capacity index deliberately optimizes those
     scans away, which would erase the figure's subject, so the timing
-    drivers pin ``REPRO_PLACEMENT_INDEX=naive`` for their measured runs.
+    drivers pin ``REPRO_PLACEMENT_INDEX=naive`` for their measured runs —
+    and ``REPRO_STATE_BACKEND=objects`` alongside it, because the paper's
+    scans read plain object attributes; routing them through the array
+    backend's views would distort the same measurement the other way.
     """
-    return placement_mode("naive")
+    with placement_mode("naive"), state_backend("objects"):
+        yield
 
 
 def _min_times(run_once, repeats: int = TIMING_REPEATS) -> dict[str, float]:

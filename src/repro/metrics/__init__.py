@@ -1,10 +1,11 @@
 """Metric collection and summarization for simulation runs."""
 
 from .collector import MetricsCollector, MetricsSnapshot, VMRecord, tier_gauge_name
-from .gauges import TimeWeightedGauge
+from .gauges import GaugeBank, TimeWeightedGauge
 from .summary import RunSummary, aggregate_summaries, summarize
 
 __all__ = [
+    "GaugeBank",
     "MetricsCollector",
     "MetricsSnapshot",
     "RunSummary",

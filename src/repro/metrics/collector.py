@@ -27,10 +27,11 @@ from ..errors import SimulationError
 from ..network import NetworkFabric
 from ..photonics import PowerReport
 from ..schedulers import Placement
+from ..state import arrays_enabled
 from ..topology import Cluster
 from ..types import RESOURCE_ORDER, ResourceType, TierId
 from ..workloads import ResolvedRequest
-from .gauges import TimeWeightedGauge
+from .gauges import GaugeBank, TimeWeightedGauge
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +105,15 @@ class MetricsCollector:
     _net_gauges: tuple[tuple[TierId, TimeWeightedGauge], ...] = field(
         init=False, default=()
     )
+    #: Array-backed gauge store (``REPRO_STATE_BACKEND=arrays``); when set,
+    #: ``_gauges``/``_net_gauges`` stay empty and the bank is authoritative.
+    _bank: GaugeBank | None = field(init=False, default=None)
+    _net_tiers: tuple[TierId, ...] = field(init=False, default=())
+    _values_buf: list = field(init=False, default_factory=list)
+    # State-version fingerprint of the last full sample; -1 forces the next
+    # sample to recompute every utilization (construction, reset, restore).
+    _cluster_version: int = field(init=False, default=-1)
+    _fabric_version: int = field(init=False, default=-1)
     # Scalar tallies maintained on every event so summaries never need the
     # per-VM record list (the keep_records=False path).
     total_requests: int = field(init=False, default=0)
@@ -115,15 +125,26 @@ class MetricsCollector:
     def __post_init__(self) -> None:
         self.power = PowerReport(energy_config=self.spec.energy)
         tiers = self.fabric.tiers
-        net_pairs = []
+        self._net_tiers = tuple(tiers)
+        names = [tier_gauge_name(tier, len(tiers)) for tier in tiers]
+        names += ["cpu", "ram", "storage"]
         self._gauges = {}
-        for tier in tiers:
-            gauge = TimeWeightedGauge()
-            self._gauges[tier_gauge_name(tier, len(tiers))] = gauge
-            net_pairs.append((tier, gauge))
-        self._net_gauges = tuple(net_pairs)
-        for name in ("cpu", "ram", "storage"):
-            self._gauges[name] = TimeWeightedGauge()
+        self._net_gauges = ()
+        self._bank = None
+        if arrays_enabled():
+            self._bank = GaugeBank(names)
+            self._values_buf = [0.0] * len(names)
+        else:
+            net_pairs = []
+            for tier in tiers:
+                gauge = TimeWeightedGauge()
+                self._gauges[tier_gauge_name(tier, len(tiers))] = gauge
+                net_pairs.append((tier, gauge))
+            self._net_gauges = tuple(net_pairs)
+            for name in ("cpu", "ram", "storage"):
+                self._gauges[name] = TimeWeightedGauge()
+        self._cluster_version = -1
+        self._fabric_version = -1
         self.total_requests = 0
         self.scheduled_count = 0
         self.inter_rack_count = 0
@@ -135,23 +156,57 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
 
     def _sample_gauges(self, now: float) -> None:
-        """Refresh every gauge from cluster/fabric state at ``now``."""
-        for tier, gauge in self._net_gauges:
-            gauge.update(now, self.fabric.tier_utilization(tier))
-        self._gauges["cpu"].update(now, self.cluster.utilization(ResourceType.CPU))
-        self._gauges["ram"].update(now, self.cluster.utilization(ResourceType.RAM))
-        self._gauges["storage"].update(
-            now, self.cluster.utilization(ResourceType.STORAGE)
-        )
+        """Refresh every gauge from cluster/fabric state at ``now``.
+
+        When neither the cluster nor the fabric changed since the last full
+        sample (their version counters match), every utilization reads the
+        same value — so advancing the clocks is exactly ``update(now,
+        same_value)`` at a fraction of the cost.  Drop-heavy runs hit this
+        constantly: a rejected VM touches no state.
+        """
+        cv = self.cluster.version
+        fv = self.fabric.version
+        if cv == self._cluster_version and fv == self._fabric_version:
+            if self._bank is not None:
+                self._bank.advance_all(now)
+            else:
+                for gauge in self._gauges.values():
+                    gauge.advance(now)
+            self.last_event_time = max(self.last_event_time, now)
+            return
+        self._cluster_version = cv
+        self._fabric_version = fv
+        fabric = self.fabric
+        cluster = self.cluster
+        if self._bank is not None:
+            buf = self._values_buf
+            for i, tier in enumerate(self._net_tiers):
+                buf[i] = fabric.tier_utilization(tier)
+            k = len(self._net_tiers)
+            buf[k] = cluster.utilization(ResourceType.CPU)
+            buf[k + 1] = cluster.utilization(ResourceType.RAM)
+            buf[k + 2] = cluster.utilization(ResourceType.STORAGE)
+            self._bank.update_all(now, buf)
+        else:
+            for tier, gauge in self._net_gauges:
+                gauge.update(now, fabric.tier_utilization(tier))
+            self._gauges["cpu"].update(now, cluster.utilization(ResourceType.CPU))
+            self._gauges["ram"].update(now, cluster.utilization(ResourceType.RAM))
+            self._gauges["storage"].update(
+                now, cluster.utilization(ResourceType.STORAGE)
+            )
         self.last_event_time = max(self.last_event_time, now)
 
     def _note_arrival(self, now: float) -> None:
         if self.first_arrival is None:
             self.first_arrival = now
-            for gauge in self._gauges.values():
-                # Restart gauge windows at the first arrival so idle lead-in
-                # time does not dilute the averages.
-                gauge.restart(now)
+            # Restart gauge windows at the first arrival so idle lead-in
+            # time does not dilute the averages.
+            if self._bank is not None:
+                self._bank.restart_all(now)
+            else:
+                for gauge in self._gauges.values():
+                    gauge.restart(now)
 
     def record_assignment(self, placement: Placement, now: float) -> None:
         """Record a successful placement (after the scheduler committed)."""
@@ -244,8 +299,12 @@ class MetricsCollector:
             inter_rack_count=self.inter_rack_count,
             latency_sum_ns=self.latency_sum_ns,
             latency_count=self.latency_count,
-            gauges=tuple(
-                (name, gauge.snapshot()) for name, gauge in self._gauges.items()
+            gauges=(
+                self._bank.snapshot_tuples()
+                if self._bank is not None
+                else tuple(
+                    (name, gauge.snapshot()) for name, gauge in self._gauges.items()
+                )
             ),
             power=self.power.snapshot(),
         )
@@ -265,10 +324,10 @@ class MetricsCollector:
                 "this collector's own history"
             )
         names = tuple(name for name, _ in snap.gauges)
-        if names != tuple(self._gauges):
+        if names != self.gauge_names():
             raise SimulationError(
                 f"metrics snapshot gauges {names} do not match this "
-                f"collector's gauges {tuple(self._gauges)}"
+                f"collector's gauges {self.gauge_names()}"
             )
         del self.records[snap.record_count:]
         self.scheduler_time_s = snap.scheduler_time_s
@@ -279,9 +338,16 @@ class MetricsCollector:
         self.inter_rack_count = snap.inter_rack_count
         self.latency_sum_ns = snap.latency_sum_ns
         self.latency_count = snap.latency_count
-        for name, state in snap.gauges:
-            self._gauges[name].restore(state)
+        if self._bank is not None:
+            self._bank.restore_tuples(snap.gauges)
+        else:
+            for name, state in snap.gauges:
+                self._gauges[name].restore(state)
         self.power.restore(snap.power)
+        # The restored world may differ arbitrarily from the live one; force
+        # the next sample to recompute every utilization.
+        self._cluster_version = -1
+        self._fabric_version = -1
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -296,21 +362,27 @@ class MetricsCollector:
 
     def average_utilization(self, gauge: str) -> float:
         """Time-weighted average of one gauge over the run so far."""
+        if self._bank is not None:
+            return self._bank.average(gauge)
         return self._gauges[gauge].average()
 
     def peak_utilization(self, gauge: str) -> float:
         """Peak value of one gauge."""
+        if self._bank is not None:
+            return self._bank.peak_of(gauge)
         return self._gauges[gauge].peak
 
     def gauge_names(self) -> tuple[str, ...]:
         """Names accepted by :meth:`average_utilization`."""
+        if self._bank is not None:
+            return self._bank.names
         return tuple(self._gauges)
 
     def net_gauge_names(self) -> tuple[str, ...]:
         """The network gauges only, leaf tier first."""
         return tuple(
-            tier_gauge_name(tier, len(self._net_gauges))
-            for tier, _ in self._net_gauges
+            tier_gauge_name(tier, len(self._net_tiers))
+            for tier in self._net_tiers
         )
 
     def compute_utilization_averages(self) -> dict[ResourceType, float]:

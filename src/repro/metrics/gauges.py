@@ -3,9 +3,22 @@
 Utilization changes only at simulation events (assignments and departures),
 so a piecewise-constant integral gives the exact time-weighted average — the
 quantity the paper plots in Figure 8 — with O(1) work per event.
+
+Two stores exist for the same accumulator semantics:
+
+* :class:`TimeWeightedGauge` — one gauge, plain python floats.  Optionally
+  records a coalesced ``(time, value)`` history (``keep_records=True`` +
+  :meth:`~TimeWeightedGauge.sample`).
+* :class:`GaugeBank` — a struct-of-arrays bank for gauges that always tick
+  together (the metrics collector's case): the integral and peak updates for
+  the whole set are two fused numpy operations instead of a python loop.
+  Element ``i`` performs the identical IEEE-754 operation sequence as a
+  standalone gauge, so both stores produce bit-identical snapshots.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..errors import SimulationError
 
@@ -13,14 +26,29 @@ from ..errors import SimulationError
 class TimeWeightedGauge:
     """Piecewise-constant signal with an exact running time integral."""
 
-    __slots__ = ("_value", "_last_time", "_integral", "_start_time", "_peak")
+    __slots__ = (
+        "_value",
+        "_last_time",
+        "_integral",
+        "_start_time",
+        "_peak",
+        "_keep_records",
+        "_history",
+    )
 
-    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_value: float = 0.0,
+        start_time: float = 0.0,
+        keep_records: bool = False,
+    ) -> None:
         self._value = initial_value
         self._last_time = start_time
         self._start_time = start_time
         self._integral = 0.0
         self._peak = initial_value
+        self._keep_records = keep_records
+        self._history: list[tuple[float, float]] = []
 
     @property
     def value(self) -> float:
@@ -32,12 +60,32 @@ class TimeWeightedGauge:
         """Largest value observed so far."""
         return self._peak
 
+    @property
+    def history(self) -> tuple[tuple[float, float], ...]:
+        """Coalesced ``(time, value)`` points recorded by :meth:`sample`.
+
+        Consecutive samples with an unchanged value collapse onto the first
+        point — a piecewise-constant signal is fully described by its change
+        points, so the redundant entries would only bloat long runs.
+        """
+        return tuple(self._history)
+
     def update(self, time: float, value: float) -> None:
         """Advance the clock to ``time`` and set a new value."""
         self.advance(time)
         self._value = value
         if value > self._peak:
             self._peak = value
+
+    def sample(self, time: float, value: float) -> None:
+        """Like :meth:`update`, but also records the point in :attr:`history`
+        when ``keep_records=True`` — skipping it if the value is unchanged
+        from the previous recorded point (coalescing)."""
+        self.update(time, value)
+        if self._keep_records and (
+            not self._history or self._history[-1][1] != value
+        ):
+            self._history.append((time, value))
 
     def advance(self, time: float) -> None:
         """Advance the clock without changing the value."""
@@ -62,15 +110,16 @@ class TimeWeightedGauge:
         """Reset the gauge to a zero signal whose window opens at ``now``.
 
         Equivalent to constructing ``TimeWeightedGauge(0.0, now)`` in place:
-        the integral, peak, and value all clear and the averaging window
-        restarts.  Used to discard idle lead-in time once the first arrival
-        lands.
+        the integral, peak, value, and recorded history all clear and the
+        averaging window restarts.  Used to discard idle lead-in time once
+        the first arrival lands.
         """
         self._value = 0.0
         self._last_time = now
         self._start_time = now
         self._integral = 0.0
         self._peak = 0.0
+        self._history.clear()
 
     # ------------------------------------------------------------------ #
     # Fork support
@@ -100,3 +149,128 @@ class TimeWeightedGauge:
             self._integral,
             self._peak,
         ) = state
+
+
+class GaugeBank:
+    """A set of named time-weighted gauges stored as flat arrays.
+
+    All gauges in a bank share every clock tick (the collector samples the
+    whole set on each simulation event), so one fused
+    ``integral += value * dt`` and one ``maximum(peak, value)`` replace the
+    per-gauge python updates.  Snapshots interchange with per-gauge
+    :meth:`TimeWeightedGauge.snapshot` tuples bit-for-bit.
+    """
+
+    __slots__ = (
+        "names", "_index", "_now",
+        "value", "last_time", "start_time", "integral", "peak",
+    )
+
+    def __init__(self, names: tuple[str, ...] | list[str]) -> None:
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate gauge names: {names}")
+        self.names = tuple(names)
+        self._index = {name: i for i, name in enumerate(self.names)}
+        self._now = 0.0  # scalar mirror of the (lockstep) last_time column
+        n = len(self.names)
+        self.value = np.zeros(n, dtype=np.float64)
+        self.last_time = np.zeros(n, dtype=np.float64)
+        self.start_time = np.zeros(n, dtype=np.float64)
+        self.integral = np.zeros(n, dtype=np.float64)
+        self.peak = np.zeros(n, dtype=np.float64)
+
+    def advance_all(self, now: float) -> None:
+        """Advance every gauge's clock without changing values (fused).
+
+        All clocks move in lockstep, so a scalar mirror of the shared last
+        time lets the zero-dt case (several events at one timestamp) skip the
+        array work outright.  Skipping is bit-exact: values and dt are
+        non-negative, so every integral stays ``+0.0``-signed and adding
+        ``value * 0.0`` would change no bits.
+        """
+        dt = now - self._now
+        if dt < 0.0:
+            raise SimulationError(
+                f"gauge clock moved backwards: {now} < {self._now}"
+            )
+        if dt > 0.0:
+            self.integral += self.value * dt
+            self.last_time[:] = now
+            self._now = now
+
+    def update_all(self, now: float, values) -> None:
+        """Advance to ``now`` and set every gauge's value (fused).
+
+        ``values`` is any sequence of ``len(names)`` floats, in name order.
+        """
+        self.advance_all(now)
+        v = self.value
+        v[:] = values
+        np.maximum(self.peak, v, out=self.peak)
+
+    def restart_all(self, now: float) -> None:
+        """Reset every gauge to a zero signal opening at ``now``."""
+        self.value[:] = 0.0
+        self.last_time[:] = now
+        self.start_time[:] = now
+        self.integral[:] = 0.0
+        self.peak[:] = 0.0
+        self._now = now
+
+    def average(self, name: str) -> float:
+        """Time-weighted average of one gauge up to its last update."""
+        i = self._index[name]
+        duration = float(self.last_time[i]) - float(self.start_time[i])
+        if duration <= 0:
+            return float(self.value[i])
+        return float(self.integral[i]) / duration
+
+    def peak_of(self, name: str) -> float:
+        """Peak value of one gauge."""
+        return float(self.peak[self._index[name]])
+
+    def value_of(self, name: str) -> float:
+        """Current value of one gauge."""
+        return float(self.value[self._index[name]])
+
+    # ------------------------------------------------------------------ #
+    # Fork support
+    # ------------------------------------------------------------------ #
+
+    def snapshot_tuples(
+        self,
+    ) -> tuple[tuple[str, tuple[float, float, float, float, float]], ...]:
+        """Per-gauge five-scalar snapshots, in name order — the same format
+        a dict of :class:`TimeWeightedGauge` produces."""
+        return tuple(
+            (
+                name,
+                (
+                    float(self.value[i]),
+                    float(self.last_time[i]),
+                    float(self.start_time[i]),
+                    float(self.integral[i]),
+                    float(self.peak[i]),
+                ),
+            )
+            for i, name in enumerate(self.names)
+        )
+
+    def restore_tuples(
+        self,
+        gauges: tuple[tuple[str, tuple[float, float, float, float, float]], ...],
+    ) -> None:
+        """Rewind from :meth:`snapshot_tuples` output (names pre-validated
+        by the caller)."""
+        for i, (_, state) in enumerate(gauges):
+            (
+                self.value[i],
+                self.last_time[i],
+                self.start_time[i],
+                self.integral[i],
+                self.peak[i],
+            ) = state
+        lt = self.last_time
+        if lt.size and not np.all(lt == lt[0]):
+            raise SimulationError("gauge bank clocks must move in lockstep")
+        self._now = float(lt[0]) if lt.size else 0.0

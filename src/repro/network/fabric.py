@@ -28,11 +28,17 @@ from typing import Iterator
 
 from ..config import ClusterSpec, FabricTopology
 from ..errors import NetworkAllocationError, TopologyError
+from ..state import FabricStateArrays, arrays_enabled
 from ..topology import Cluster
 from ..types import TierId
 from .bundle import LinkBundle, LinkSelectionPolicy
 from .circuit import Circuit
 from .link import BANDWIDTH_EPS, Link
+
+#: Resolved paths depend only on the immutable topology, so the array
+#: backend memoizes them per (box_a, box_b); the cap bounds memory on
+#: adversarial access patterns (cleared wholesale when hit).
+_PATH_CACHE_MAX = 65536
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +76,9 @@ class NetworkFabric:
         "_num_racks",
         "_node_counts",
         "_rings_cache",
+        "_state_arrays",
+        "_version",
+        "_path_cache",
     )
 
     def __init__(
@@ -143,10 +152,30 @@ class NetworkFabric:
                 bundle = LinkBundle(name=f"{tier.name}{node}-up", links=links)
                 self._bundles[level][node] = bundle
                 self._tier_capacity[tier] += bundle.capacity_gbps
+        self._version = 0
+        self._state_arrays = None  # accessors fall back to dicts during bind
+        if arrays_enabled():
+            self._state_arrays = FabricStateArrays(self)
+        self._path_cache: dict[tuple[int, int], FabricPath] | None = (
+            {} if self._state_arrays is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # Hierarchy queries
     # ------------------------------------------------------------------ #
+
+    @property
+    def state_arrays(self) -> FabricStateArrays | None:
+        """The struct-of-arrays bandwidth state, or None in object mode
+        (``REPRO_STATE_BACKEND=objects``)."""
+        return self._state_arrays
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every fabric-level bandwidth or
+        capacity change — lets callers (the metrics collector) skip
+        re-sampling unchanged state."""
+        return self._version
 
     @property
     def tiers(self) -> tuple[TierId, ...]:
@@ -265,6 +294,11 @@ class NetworkFabric:
         B's, collecting the radix of every switch traversed for the energy
         model.  Works identically for 2 tiers and N tiers.
         """
+        cache = self._path_cache
+        if cache is not None:
+            cached = cache.get((box_a, box_b))
+            if cached is not None:
+                return cached
         if box_a == box_b:
             raise NetworkAllocationError(
                 f"flow endpoints must differ (both box {box_a}); boxes hold a "
@@ -284,9 +318,14 @@ class NetworkFabric:
         ports.extend(topo.switch_ports_at(level) for level in range(1, lca + 1))
         ports.extend(topo.switch_ports_at(level) for level in range(lca - 1, 0, -1))
         ports.append(topo.switch_ports_at(0))
-        return FabricPath(
+        path = FabricPath(
             bundles=tuple(bundles), switch_ports=tuple(ports), lca_level=lca
         )
+        if cache is not None:
+            if len(cache) >= _PATH_CACHE_MAX:
+                cache.clear()
+            cache[(box_a, box_b)] = path
+        return path
 
     def path_bundles(self, box_a: int, box_b: int) -> tuple[list[LinkBundle], tuple[int, ...], bool]:
         """Bundles and switch radices along the flow path between two boxes.
@@ -337,9 +376,15 @@ class NetworkFabric:
             if link is None:
                 return None
             chosen.append(link)
-        for link in chosen:
-            link.reserve(demand_gbps)
-            self._tier_used[link.tier] += demand_gbps
+        self._version += 1
+        fa = self._state_arrays
+        if fa is not None:
+            # One gathered clamp + scatter-add applies the whole path.
+            fa.reserve_path(chosen, demand_gbps, path.lca_level)
+        else:
+            for link in chosen:
+                link.reserve(demand_gbps)
+                self._tier_used[link.tier] += demand_gbps
         return Circuit(
             links=tuple(chosen),
             demand_gbps=demand_gbps,
@@ -380,6 +425,11 @@ class NetworkFabric:
         All hops are validated *before* anything is freed, so a rejected
         release leaves links and tier counters untouched and consistent.
         """
+        self._version += 1
+        fa = self._state_arrays
+        if fa is not None:
+            fa.release_path(circuit)
+            return
         demand = circuit.demand_gbps
         pending = dict(self._tier_used)
         for link in circuit.links:
@@ -416,6 +466,9 @@ class NetworkFabric:
 
     def snapshot(self) -> tuple[float, ...]:
         """Capture per-link reserved bandwidth; restorable and comparable."""
+        fa = self._state_arrays
+        if fa is not None:
+            return fa.used_tuple()
         return tuple(link.used_gbps for link in self._iter_links())
 
     def restore(self, snap: tuple[float, ...]) -> None:
@@ -423,8 +476,16 @@ class NetworkFabric:
 
         Each link is rewritten through its public occupancy API, so bundle
         aggregates and free-link indexes rebuild as a side effect; the
-        per-tier totals are then recomputed from the restored links.
+        per-tier totals are then recomputed from the restored links.  The
+        array backend does the same with whole-array writes.
         """
+        self._version += 1
+        fa = self._state_arrays
+        if fa is not None:
+            if len(snap) != fa.link_used.shape[0]:
+                raise TopologyError("snapshot shape does not match fabric")
+            fa.bulk_restore_used(snap)
+            return
         links = list(self._iter_links())
         if len(snap) != len(links):
             raise TopologyError("snapshot shape does not match fabric")
@@ -473,10 +534,15 @@ class NetworkFabric:
         if factor <= 0:
             raise TopologyError(f"capacity scale factor must be positive, got {factor}")
         tier = self.resolve_tier(tier)
+        self._version += 1
         bundles = self._bundles[tier.level].values()
         for bundle in bundles:
             bundle.set_link_capacities([l.capacity_gbps * factor for l in bundle.links])
         self._tier_capacity[tier] = sum(b.capacity_gbps for b in bundles)
+        if self._state_arrays is not None:
+            self._state_arrays.refresh_tier_capacities(
+                [self._tier_capacity[t] for t in self._tiers]
+            )
 
     def capacity_snapshot(self) -> tuple[float, ...]:
         """Capture per-link capacity (the perturbable quantity), in the same
@@ -499,6 +565,7 @@ class NetworkFabric:
         )
         if len(snap) != expected:
             raise TopologyError("capacity snapshot shape does not match fabric")
+        self._version += 1
         pos = 0
         self._tier_capacity = {tier: 0.0 for tier in self._tiers}
         for level, tier_bundles in enumerate(self._bundles):
@@ -508,6 +575,10 @@ class NetworkFabric:
                 bundle.set_link_capacities(snap[pos : pos + n])
                 pos += n
                 self._tier_capacity[tier] += bundle.capacity_gbps
+        if self._state_arrays is not None:
+            self._state_arrays.refresh_tier_capacities(
+                [self._tier_capacity[t] for t in self._tiers]
+            )
 
     # ------------------------------------------------------------------ #
     # Utilization (Figure 8 quantities, per tier)
@@ -526,7 +597,11 @@ class NetworkFabric:
 
     def tier_used_gbps(self, tier: TierId) -> float:
         """Aggregate reserved bandwidth of one link tier (O(1))."""
-        return self._tier_used[self._tier_key(tier)]
+        tier = self._tier_key(tier)
+        fa = self._state_arrays
+        if fa is not None:
+            return float(fa.tier_used[tier.level])
+        return self._tier_used[tier]
 
     def tier_utilization(self, tier: TierId) -> float:
         """Fraction of one tier's capacity currently reserved."""
@@ -534,7 +609,9 @@ class NetworkFabric:
         cap = self._tier_capacity[tier]
         if cap == 0:
             return 0.0
-        return self._tier_used[tier] / cap
+        fa = self._state_arrays
+        used = float(fa.tier_used[tier.level]) if fa is not None else self._tier_used[tier]
+        return used / cap
 
     def tier_utilizations(self) -> dict[TierId, float]:
         """Utilization of every tier, leaf tier first."""

@@ -105,15 +105,29 @@ class RISAScheduler(Scheduler):
     def schedule(self, request: ResolvedRequest) -> Placement | None:
         """Round-robin over INTRA_RACK_POOL, else NULB over SUPER_RACK."""
         units = request.units
-        num_racks = self.cluster.num_racks
-        for offset in range(num_racks):
-            rack = self.cluster.rack((self._cursor + offset) % num_racks)
-            if not rack.can_host(units):
-                continue
-            placement = self._try_rack(rack, request)
-            if placement is not None:
-                self._cursor = (rack.index + 1) % num_racks
-                return placement
+        cluster = self.cluster
+        num_racks = cluster.num_racks
+        state = cluster.state_arrays
+        if state is not None and num_racks:
+            # One fused mask over the per-rack maxima replaces the per-rack
+            # can_host walk; the pool arrives already rotated to the cursor.
+            pool = state.pool_racks_from(
+                units.cpu, units.ram, units.storage, self._cursor % num_racks
+            )
+            for rack_index in pool:
+                placement = self._try_rack(cluster.rack(rack_index), request)
+                if placement is not None:
+                    self._cursor = (rack_index + 1) % num_racks
+                    return placement
+        else:
+            for offset in range(num_racks):
+                rack = cluster.rack((self._cursor + offset) % num_racks)
+                if not rack.can_host(units):
+                    continue
+                placement = self._try_rack(rack, request)
+                if placement is not None:
+                    self._cursor = (rack.index + 1) % num_racks
+                    return placement
         # Pool empty, or every pool rack failed on network capacity: build
         # SUPER_RACK and fall back to the inter-rack path (Algorithm 1).
         super_rack = self._super_rack(request)
@@ -140,6 +154,18 @@ class RISAScheduler(Scheduler):
         """Per-resource lists of racks with a box that fits that slice."""
         units = request.units
         out: dict[ResourceType, frozenset[int]] = {}
+        state = self.cluster.state_arrays
+        if state is not None:
+            all_racks: frozenset[int] | None = None
+            for tpos, rtype in enumerate(RESOURCE_ORDER):
+                needed = units.get(rtype)
+                if needed == 0:
+                    if all_racks is None:
+                        all_racks = frozenset(range(self.cluster.num_racks))
+                    out[rtype] = all_racks
+                else:
+                    out[rtype] = frozenset(state.racks_with_box(tpos, needed))
+            return out
         for rtype in RESOURCE_ORDER:
             needed = units.get(rtype)
             out[rtype] = frozenset(

@@ -1,0 +1,609 @@
+"""Struct-of-arrays state backend: flat numpy arrays behind the object views.
+
+Id-stability contract
+---------------------
+
+The arrays are indexed by the integer ids the builders assign and never
+reshuffle:
+
+* **boxes** — per resource type, position order equals the rack-major
+  "first box" order (ascending box id within a type), the same order the
+  :class:`~repro.topology.capacity_index.CapacityIndex` uses;
+* **bricks** — concatenated per type in box-position order, each box's
+  bricks contiguous (every box has at least one brick);
+* **links** — ``link_id`` equals the position in the fabric's deterministic
+  tier-major iteration order (dense ``0..L-1``, asserted at bind time);
+* **tiers** — ``TierId.level`` indexes the per-tier totals, leaf tier first.
+
+Topology never changes after construction, so these indices are stable for
+the lifetime of a run — snapshots, restores, and forks all reduce to array
+copies plus an O(n) rebuild of the derived aggregates.
+
+The backend is latched per object at *construction* time (like
+``REPRO_PLACEMENT_INDEX``): wrap constructors in :func:`state_backend` to
+pin a mode.  All mutations still flow through the public ``Box``/``Link``
+APIs, whose listeners (``on_box_change``, bundle link listeners, capacity
+index updates) are fed from the array writes, so both backends produce
+bit-identical event digests and summaries.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import NetworkAllocationError, SimulationError, TopologyError
+from ..types import RESOURCE_ORDER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoid import cycles)
+    from ..network.circuit import Circuit
+    from ..network.fabric import NetworkFabric
+    from ..network.link import Link
+    from ..topology.cluster import Cluster
+
+#: Environment variable selecting the state backend.
+STATE_BACKEND_ENV = "REPRO_STATE_BACKEND"
+
+#: Accepted values of :data:`STATE_BACKEND_ENV`.
+STATE_BACKENDS: tuple[str, ...] = ("arrays", "objects")
+
+#: Tolerance for floating-point bandwidth comparisons (mirrors link.py; kept
+#: local to avoid an import cycle with the network package).
+_BANDWIDTH_EPS = 1e-9
+
+
+def state_backend_mode() -> str:
+    """The process-wide state backend (read once per construction)."""
+    mode = os.environ.get(STATE_BACKEND_ENV, "arrays")
+    if mode not in STATE_BACKENDS:
+        raise SimulationError(
+            f"{STATE_BACKEND_ENV}={mode!r} is not a known backend; "
+            f"choose from {STATE_BACKENDS}"
+        )
+    return mode
+
+
+def arrays_enabled() -> bool:
+    """True unless ``REPRO_STATE_BACKEND=objects`` is set."""
+    return state_backend_mode() == "arrays"
+
+
+@contextmanager
+def state_backend(mode: str) -> Iterator[None]:
+    """Temporarily pin the state backend for the enclosed block.
+
+    Clusters and fabrics latch the backend at construction, so wrap the
+    *constructors* (building a simulator is enough); already-built objects
+    are unaffected.  Used by the A/B benchmarks and the backend equivalence
+    tests.
+    """
+    if mode not in STATE_BACKENDS:
+        raise SimulationError(
+            f"unknown state backend {mode!r}; choose from {STATE_BACKENDS}"
+        )
+    old = os.environ.get(STATE_BACKEND_ENV)
+    os.environ[STATE_BACKEND_ENV] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(STATE_BACKEND_ENV, None)
+        else:
+            os.environ[STATE_BACKEND_ENV] = old
+
+
+class ClusterStateArrays:
+    """Flat occupancy state of one cluster: bricks, boxes, rack maxima.
+
+    One set of arrays per resource type, indexed by the type's position in
+    ``RESOURCE_ORDER``.  Bricks hold the authoritative occupancy; per-box
+    availability and per-rack maxima are derived and maintained
+    incrementally through :meth:`apply_box_delta` (driven by the ``Box``
+    views).  Integer dtype throughout — unit accounting stays exact.
+    """
+
+    __slots__ = (
+        "num_racks",
+        "brick_used",
+        "brick_capacity",
+        "box_offsets",
+        "box_capacity",
+        "box_avail",
+        "rack_spans",
+        "rack_offsets",
+        "rack_nonempty",
+        "rack_max",
+        "_box_meta",
+        "_rows_by_type",
+    )
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.num_racks = cluster.num_racks
+        self.brick_used: list[np.ndarray] = []
+        self.brick_capacity: list[np.ndarray] = []
+        self.box_offsets: list[np.ndarray] = []
+        self.box_capacity: list[np.ndarray] = []
+        self.box_avail: list[np.ndarray] = []
+        self.rack_spans: list[list[tuple[int, int]]] = []
+        self.rack_offsets: list[np.ndarray] = []
+        self.rack_nonempty: list[bool] = []
+        self.rack_max: list[np.ndarray] = []
+        for tpos, rtype in enumerate(RESOURCE_ORDER):
+            boxes = cluster.boxes(rtype)
+            brick_caps: list[int] = []
+            brick_used: list[int] = []
+            offsets = [0]
+            for box in boxes:
+                for brick in box.bricks:
+                    brick_caps.append(brick.capacity_units)
+                    brick_used.append(brick.used_units)
+                offsets.append(len(brick_caps))
+            self.brick_used.append(np.array(brick_used, dtype=np.int64))
+            self.brick_capacity.append(np.array(brick_caps, dtype=np.int64))
+            self.box_offsets.append(np.array(offsets, dtype=np.int64))
+            self.box_capacity.append(
+                np.array([b.capacity_units for b in boxes], dtype=np.int64)
+            )
+            spans: list[tuple[int, int]] = []
+            cursor = 0
+            for rack_index in range(self.num_racks):
+                start = cursor
+                while cursor < len(boxes) and boxes[cursor].rack_index == rack_index:
+                    cursor += 1
+                spans.append((start, cursor))
+            self.rack_spans.append(spans)
+            self.rack_offsets.append(np.array([lo for lo, _ in spans], dtype=np.int64))
+            self.rack_nonempty.append(bool(boxes) and all(lo < hi for lo, hi in spans))
+            self.box_avail.append(np.zeros(len(boxes), dtype=np.int64))
+            self.rack_max.append(np.zeros(self.num_racks, dtype=np.int64))
+            # Bind the views: from here on the arrays are the authority.
+            for pos, box in enumerate(boxes):
+                lo = offsets[pos]
+                box._bind_state(self, tpos, pos, lo)
+                for j, brick in enumerate(box.bricks):
+                    brick._bind_array(self.brick_used[tpos], lo + j)
+            self._recompute_derived(tpos)
+        # Snapshot metadata, in ascending box-id order (the snapshot order):
+        # (box_id, type position, flat brick span, (brick index, cap) pairs).
+        meta: list[tuple[int, int, int, int, tuple[tuple[int, int], ...]]] = []
+        rows_by_type: list[list[int]] = [[] for _ in RESOURCE_ORDER]
+        tpos_of = {rtype: i for i, rtype in enumerate(RESOURCE_ORDER)}
+        pos_within = {i: 0 for i in range(len(RESOURCE_ORDER))}
+        for row, bid in enumerate(sorted(b.box_id for b in cluster.all_boxes())):
+            box = cluster.box(bid)
+            tpos = tpos_of[box.rtype]
+            pos = pos_within[tpos]
+            pos_within[tpos] = pos + 1
+            lo = int(self.box_offsets[tpos][pos])
+            hi = int(self.box_offsets[tpos][pos + 1])
+            caps = tuple((brick.index, brick.capacity_units) for brick in box.bricks)
+            meta.append((bid, tpos, lo, hi, caps))
+            rows_by_type[tpos].append(row)
+        self._box_meta = meta
+        self._rows_by_type = rows_by_type
+
+    # ------------------------------------------------------------------ #
+    # Derived-aggregate maintenance
+    # ------------------------------------------------------------------ #
+
+    def _recompute_derived(self, tpos: int) -> None:
+        """Rebuild per-box availability and rack maxima of one type (O(n))."""
+        used = self.brick_used[tpos]
+        avail = self.box_avail[tpos]
+        if avail.shape[0]:
+            per_box = np.add.reduceat(used, self.box_offsets[tpos][:-1])
+            avail[:] = self.box_capacity[tpos] - per_box
+        self._recompute_rack_max(tpos)
+
+    def _recompute_rack_max(self, tpos: int) -> None:
+        avail = self.box_avail[tpos]
+        rm = self.rack_max[tpos]
+        if not rm.shape[0]:
+            return
+        if self.rack_nonempty[tpos]:
+            rm[:] = np.maximum.reduceat(avail, self.rack_offsets[tpos])
+        else:
+            rm[:] = [
+                int(avail[lo:hi].max()) if hi > lo else 0
+                for lo, hi in self.rack_spans[tpos]
+            ]
+
+    def resync_from_bricks(self) -> None:
+        """Recompute every derived array from brick occupancy (defensive
+        bulk lever mirroring ``Cluster.rebuild_caches``)."""
+        for tpos in range(len(RESOURCE_ORDER)):
+            self._recompute_derived(tpos)
+
+    def apply_box_delta(self, tpos: int, pos: int, rack_index: int, delta: int) -> None:
+        """One box's availability changed by ``delta`` units (positive =
+        release); maintain availability and the rack max incrementally."""
+        avail = self.box_avail[tpos]
+        old = avail[pos]
+        new = old + delta
+        avail[pos] = new
+        rm = self.rack_max[tpos]
+        if delta > 0:
+            if new > rm[rack_index]:
+                rm[rack_index] = new
+        elif old == rm[rack_index]:
+            lo, hi = self.rack_spans[tpos][rack_index]
+            m = avail[lo:hi].max()
+            if m != old:
+                rm[rack_index] = m
+
+    # ------------------------------------------------------------------ #
+    # Vectorized queries (RISA pool/super-rack, rack views)
+    # ------------------------------------------------------------------ #
+
+    def pool_racks_from(
+        self, cpu: int, ram: int, storage: int, cursor: int
+    ) -> list[int]:
+        """INTRA_RACK_POOL member racks in round-robin order from ``cursor``:
+        one fused mask over the per-rack maxima replaces the O(racks) scan."""
+        rm = self.rack_max
+        mask = (rm[0] >= cpu) & (rm[1] >= ram) & (rm[2] >= storage)
+        cand = np.flatnonzero(mask)
+        if not cand.size:
+            return []
+        if cursor:
+            split = int(np.searchsorted(cand, cursor))
+            if split:
+                cand = np.concatenate((cand[split:], cand[:split]))
+        return cand.tolist()
+
+    def racks_with_box(self, tpos: int, units: int) -> list[int]:
+        """Racks holding at least one box of the type with ``units`` free
+        (the SUPER_RACK membership test), in ascending order."""
+        return np.flatnonzero(self.rack_max[tpos] >= units).tolist()
+
+    def rack_can_host(self, rack_index: int, cpu: int, ram: int, storage: int) -> bool:
+        """INTRA_RACK_POOL membership of one rack (three array reads)."""
+        rm = self.rack_max
+        return bool(
+            rm[0][rack_index] >= cpu
+            and rm[1][rack_index] >= ram
+            and rm[2][rack_index] >= storage
+        )
+
+    def rack_max_value(self, tpos: int, rack_index: int) -> int:
+        """Largest single-box availability of one type in one rack."""
+        return int(self.rack_max[tpos][rack_index])
+
+    def rack_totals(self, tpos: int) -> np.ndarray:
+        """Per-rack summed availability of one type (bulk-restore refresh)."""
+        avail = self.box_avail[tpos]
+        if not self.num_racks:
+            return np.zeros(0, dtype=np.int64)
+        if self.rack_nonempty[tpos]:
+            return np.add.reduceat(avail, self.rack_offsets[tpos])
+        return np.array(
+            [
+                int(avail[lo:hi].sum()) if hi > lo else 0
+                for lo, hi in self.rack_spans[tpos]
+            ],
+            dtype=np.int64,
+        )
+
+    def type_totals(self) -> list[int]:
+        """Cluster-wide available units per type (array reductions)."""
+        return [int(avail.sum()) for avail in self.box_avail]
+
+    def avail_lists(self) -> list[list[int]]:
+        """Per-type box availability as plain lists (capacity-index reload)."""
+        return [avail.tolist() for avail in self.box_avail]
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot_tuples(self) -> tuple[tuple[int, ...], ...]:
+        """Per-box per-brick occupancy in ascending box-id order — the same
+        format ``Cluster.snapshot`` produces in object mode."""
+        flats = [used.tolist() for used in self.brick_used]
+        return tuple(
+            tuple(flats[tpos][lo:hi]) for _, tpos, lo, hi, _ in self._box_meta
+        )
+
+    def bulk_restore(self, snap: Sequence[Sequence[int]]) -> None:
+        """Restore occupancy captured by :meth:`snapshot_tuples` with bulk
+        array writes, then rebuild the derived aggregates.
+
+        Validation is atomic — an invalid snapshot raises (with the same
+        message the per-box object path produces for its first failure)
+        before anything is written, whereas the object path mutates boxes up
+        to the failing one.  Strictly safer; callers treat both as fatal.
+        """
+        meta = self._box_meta
+        if len(snap) != len(meta):
+            raise TopologyError("snapshot shape does not match cluster")
+        for (_, _, lo, hi, _), row in zip(meta, snap):
+            if len(row) != hi - lo:
+                self._raise_first_violation(snap)
+        new_flats: list[np.ndarray] = []
+        for tpos in range(len(RESOURCE_ORDER)):
+            count = int(self.brick_used[tpos].shape[0])
+            flat = np.fromiter(
+                (u for row_i in self._rows_by_type[tpos] for u in snap[row_i]),
+                dtype=np.int64,
+                count=count,
+            )
+            if (flat < 0).any() or (flat > self.brick_capacity[tpos]).any():
+                self._raise_first_violation(snap)
+            new_flats.append(flat)
+        for tpos, flat in enumerate(new_flats):
+            self.brick_used[tpos][:] = flat
+            self._recompute_derived(tpos)
+
+    def _raise_first_violation(self, snap: Sequence[Sequence[int]]) -> None:
+        """Raise the object-path error for the first invalid snapshot box."""
+        for (bid, _, lo, hi, caps), row in zip(self._box_meta, snap):
+            if len(row) != hi - lo:
+                raise TopologyError(
+                    f"snapshot invalid for box {bid}: box {bid}: occupancy "
+                    f"has {len(row)} entries for {hi - lo} bricks"
+                )
+            for (brick_index, cap), used in zip(caps, row):
+                if used < 0 or used > cap:
+                    raise TopologyError(
+                        f"snapshot invalid for box {bid}: box {bid} brick "
+                        f"{brick_index}: occupancy {used} outside [0, {cap}]"
+                    )
+        raise TopologyError("snapshot shape does not match cluster")
+
+
+class FabricStateArrays:
+    """Flat bandwidth state of one fabric: links, bundles, per-tier totals.
+
+    ``link_used`` is the authority for reserved bandwidth; bundle aggregates
+    and per-tier totals are maintained alongside with the exact same float
+    operation sequence the object path performs (per-tier totals get one
+    scalar add per traversal — ``(a+d)+d != a+2d`` in IEEE 754 — and restore
+    accumulation runs in link-id order), so both backends stay bit-identical.
+    """
+
+    __slots__ = (
+        "tiers",
+        "link_used",
+        "link_capacity",
+        "link_tier",
+        "bundles",
+        "link_bundle",
+        "link_pos",
+        "link_bundle_arr",
+        "bundle_used",
+        "tier_used",
+        "tier_capacity",
+    )
+
+    def __init__(self, fabric: "NetworkFabric") -> None:
+        tiers = fabric.tiers
+        self.tiers = tiers
+        links = list(fabric._iter_links())
+        num_links = len(links)
+        for i, link in enumerate(links):
+            if link.link_id != i:
+                raise TopologyError(
+                    "fabric link ids must be dense and in iteration order "
+                    f"for the array backend (link {link.link_id} at slot {i})"
+                )
+        self.link_used = np.zeros(num_links, dtype=np.float64)
+        self.link_capacity = np.zeros(num_links, dtype=np.float64)
+        self.link_tier = np.array([l.tier.level for l in links], dtype=np.int64)
+        bundles = []
+        link_bundle = [0] * num_links
+        link_pos = [0] * num_links
+        for level in range(fabric.num_tiers):
+            for bundle in fabric.tier_bundles(level):
+                bidx = len(bundles)
+                bundles.append(bundle)
+                for pos, link in enumerate(bundle.links):
+                    link_bundle[link.link_id] = bidx
+                    link_pos[link.link_id] = pos
+        self.bundles = bundles
+        self.link_bundle = link_bundle
+        self.link_pos = link_pos
+        self.link_bundle_arr = np.array(link_bundle, dtype=np.int64)
+        self.bundle_used = np.zeros(len(bundles), dtype=np.float64)
+        self.tier_used = np.array(
+            [fabric.tier_used_gbps(t) for t in tiers], dtype=np.float64
+        )
+        self.tier_capacity = np.array(
+            [fabric.tier_capacity_gbps(t) for t in tiers], dtype=np.float64
+        )
+        # Bind the views: from here on the arrays are the authority.
+        for link in links:
+            link._bind_state(self)
+        for bidx, bundle in enumerate(bundles):
+            bundle._bind_state(self, bidx)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized path application
+    # ------------------------------------------------------------------ #
+
+    def _update_trees(self, ids: list[int], avails: list[float]) -> None:
+        """Refresh the bundles' free-link indexes for the touched links."""
+        link_bundle = self.link_bundle
+        link_pos = self.link_pos
+        bundles = self.bundles
+        for lid, avail in zip(ids, avails):
+            tree = bundles[link_bundle[lid]]._tree
+            if tree is not None:
+                tree.update(link_pos[lid], avail)
+
+    def reserve_path(self, links: Sequence["Link"], demand: float, lca: int) -> None:
+        """Reserve ``demand`` on every hop of a resolved path: one gathered
+        ``min(cap, used + d)`` over the chosen links, a scatter-add into the
+        bundle aggregates, and two vector passes over the climbed tiers.
+
+        The caller (``NetworkFabric.allocate_flow``) has already selected a
+        fitting link per bundle, so no hop can fail; a path's links are all
+        distinct by construction.  Short paths (every path on fabrics up to
+        four tiers) take a scalar loop over the same arrays — the numpy call
+        overhead would dominate at 2-6 elements; both code paths perform the
+        identical IEEE-754 operation sequence.
+        """
+        n = len(links)
+        if n <= 8:
+            lu = self.link_used
+            lc = self.link_capacity
+            bu = self.bundle_used
+            lb = self.link_bundle
+            lp = self.link_pos
+            bundles = self.bundles
+            tu = self.tier_used
+            for link in links:
+                lid = link.link_id
+                old = float(lu[lid])
+                new = min(float(lc[lid]), old + demand)
+                lu[lid] = new
+                b = lb[lid]
+                bu[b] += new - old
+                tu[link.tier.level] += demand
+                tree = bundles[b]._tree
+                if tree is not None:
+                    tree.update(lp[lid], float(lc[lid]) - new)
+            return
+        idx = np.fromiter((l.link_id for l in links), dtype=np.int64, count=n)
+        used = self.link_used
+        old = used[idx]
+        caps = self.link_capacity[idx]
+        new = np.minimum(caps, old + demand)
+        used[idx] = new
+        np.add.at(self.bundle_used, self.link_bundle_arr[idx], new - old)
+        tier_used = self.tier_used
+        tier_used[:lca] += demand
+        tier_used[:lca] += demand
+        self._update_trees([l.link_id for l in links], (caps - new).tolist())
+
+    def release_path(self, circuit: "Circuit") -> None:
+        """Release a circuit: validate every hop and tier first (nothing is
+        freed on a rejected release), then apply one vectorized subtract.
+
+        Short paths take a scalar loop that ports the object path's
+        interleaved per-link validation verbatim onto the arrays."""
+        links = circuit.links
+        demand = circuit.demand_gbps
+        n = len(links)
+        if n <= 8:
+            lu = self.link_used
+            lc = self.link_capacity
+            bu = self.bundle_used
+            lb = self.link_bundle
+            lp = self.link_pos
+            bundles = self.bundles
+            tu = self.tier_used
+            tcap = self.tier_capacity
+            pending = tu.copy()
+            for link in links:
+                used = float(lu[link.link_id])
+                if demand > used + _BANDWIDTH_EPS:
+                    raise NetworkAllocationError(
+                        f"link {link.link_id}: freeing {demand} Gb/s but only "
+                        f"{used} Gb/s reserved — circuit released twice?"
+                    )
+                lvl = link.tier.level
+                remaining = float(pending[lvl]) - demand
+                if remaining < -_BANDWIDTH_EPS * max(1.0, float(tcap[lvl])):
+                    raise NetworkAllocationError(
+                        f"{link.tier.value} tier accounting underflow: "
+                        f"releasing {demand} Gb/s leaves {remaining} Gb/s "
+                        "reserved — circuit released twice?"
+                    )
+                pending[lvl] = remaining if remaining > 0 else 0.0
+            for link in links:
+                lid = link.link_id
+                old = float(lu[lid])
+                new = max(0.0, old - demand)
+                lu[lid] = new
+                b = lb[lid]
+                bu[b] += new - old
+                tree = bundles[b]._tree
+                if tree is not None:
+                    tree.update(lp[lid], float(lc[lid]) - new)
+            tu[:] = pending
+            return
+        idx = np.fromiter((l.link_id for l in links), dtype=np.int64, count=n)
+        used = self.link_used
+        old = used[idx]
+        bad = old + _BANDWIDTH_EPS < demand
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise NetworkAllocationError(
+                f"link {links[k].link_id}: freeing {demand} Gb/s but only "
+                f"{float(old[k])} Gb/s reserved — circuit released twice?"
+            )
+        num_tiers = self.tier_used.shape[0]
+        counts = np.zeros(num_tiers, dtype=np.int64)
+        np.add.at(counts, self.link_tier[idx], 1)
+        pending = self.tier_used.copy()
+        floor = -_BANDWIDTH_EPS * np.maximum(1.0, self.tier_capacity)
+        # A path crosses each climbed tier once per traversal direction; the
+        # object path subtracts and clamps per link, so replay the same
+        # subtract/clamp sequence per tier (ascending first, then the
+        # descending return leg).
+        for step in range(int(counts.max()) if n else 0):
+            active = np.flatnonzero(counts > step)
+            rem = pending[active] - demand
+            viol = np.flatnonzero(rem < floor[active])
+            if viol.size:
+                t_bad = int(active[viol[0] if step == 0 else viol[-1]])
+                raise NetworkAllocationError(
+                    f"{self.tiers[t_bad].value} tier accounting underflow: "
+                    f"releasing {demand} Gb/s leaves "
+                    f"{float(pending[t_bad] - demand)} Gb/s reserved — "
+                    "circuit released twice?"
+                )
+            pending[active] = np.where(rem > 0, rem, 0.0)
+        new = np.maximum(0.0, old - demand)
+        used[idx] = new
+        np.add.at(self.bundle_used, self.link_bundle_arr[idx], new - old)
+        self.tier_used[:] = pending
+        self._update_trees(
+            [l.link_id for l in links], (self.link_capacity[idx] - new).tolist()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def used_tuple(self) -> tuple[float, ...]:
+        """Per-link reserved bandwidth in link-id order."""
+        return tuple(self.link_used.tolist())
+
+    def capacity_tuple(self) -> tuple[float, ...]:
+        """Per-link capacity in link-id order."""
+        return tuple(self.link_capacity.tolist())
+
+    def bulk_restore_used(self, snap: Sequence[float]) -> None:
+        """Restore per-link reserved bandwidth with one array write, feeding
+        each changed link's delta to its bundle aggregate (in link-id order,
+        matching the object path's listener sequence) and recomputing the
+        per-tier totals by sequential accumulation in link-id order."""
+        arr = np.asarray(snap, dtype=np.float64)
+        neg = arr < 0
+        if neg.any():
+            k = int(np.argmax(neg))
+            raise NetworkAllocationError(
+                f"link {k}: negative occupancy {float(arr[k])} Gb/s"
+            )
+        old = self.link_used
+        delta = arr - old
+        changed = np.flatnonzero(delta != 0.0)
+        self.link_used[:] = arr
+        if changed.size:
+            np.add.at(self.bundle_used, self.link_bundle_arr[changed], delta[changed])
+            self._update_trees(
+                changed.tolist(),
+                (self.link_capacity[changed] - arr[changed]).tolist(),
+            )
+        acc = np.zeros_like(self.tier_used)
+        np.add.at(acc, self.link_tier, self.link_used)
+        self.tier_used[:] = acc
+
+    def refresh_tier_capacities(self, capacities: Sequence[float]) -> None:
+        """Mirror the fabric's per-tier capacity totals after a perturbation
+        (``scale_tier_capacity`` / ``restore_capacities``)."""
+        self.tier_capacity[:] = capacities

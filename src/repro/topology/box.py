@@ -4,6 +4,14 @@ Each box holds one resource type, subdivided into bricks (Section 3.1).  A
 box keeps an integer ``used_units`` counter (the hot-path quantity) plus
 per-brick occupancy, and notifies its parent rack/cluster so their cached
 aggregates stay O(1) to read.
+
+Under the array state backend (:mod:`repro.state`) a box is a thin view:
+its availability lives in the cluster's per-type ``box_avail`` array and its
+brick occupancy in one contiguous span of the flat ``brick_used`` array.
+Binding swaps the instance's class to :class:`_ArrayBox` (no new slots, only
+overrides), so unbound boxes — hand-built in tests, or under
+``REPRO_STATE_BACKEND=objects`` — run the original plain-attribute code with
+zero overhead.
 """
 
 from __future__ import annotations
@@ -57,6 +65,10 @@ class Box:
         "used_units",
         "bricks",
         "_on_change",
+        "_state",
+        "_tpos",
+        "_pos",
+        "_brick_lo",
     )
 
     def __init__(
@@ -78,8 +90,25 @@ class Box:
         self.capacity_units = sum(b.capacity_units for b in bricks)
         self.used_units = 0
         self._on_change = on_change
+        self._state = None
+        self._tpos = 0
+        self._pos = 0
+        self._brick_lo = 0
 
     # ------------------------------------------------------------------ #
+
+    def _bind_state(self, state, tpos: int, pos: int, brick_lo: int) -> None:
+        """Re-home availability into the cluster's state arrays.
+
+        ``state.box_avail[tpos][pos]`` becomes the authority for this box's
+        availability; ``brick_lo`` is the box's first slot in the flat brick
+        occupancy array (the bricks are bound separately).
+        """
+        self._state = state
+        self._tpos = tpos
+        self._pos = pos
+        self._brick_lo = brick_lo
+        self.__class__ = _ArrayBox
 
     def bind_listener(self, on_change: Callable[["Box", int], None] | None) -> None:
         """Attach the availability-change listener (cluster wiring).
@@ -161,6 +190,16 @@ class Box:
         occupancy and fires the change listener with the net delta, so rack
         caches, cluster totals, and the capacity index cannot be bypassed.
         """
+        self._validate_occupancy(brick_used)
+        old_used = self.used_units
+        for brick, used in zip(self.bricks, brick_used):
+            brick.used_units = used
+        self.used_units = sum(brick_used)
+        delta = old_used - self.used_units
+        if delta != 0 and self._on_change is not None:
+            self._on_change(self, delta)
+
+    def _validate_occupancy(self, brick_used: tuple[int, ...] | list[int]) -> None:
         if len(brick_used) != len(self.bricks):
             raise CapacityError(
                 f"box {self.box_id}: occupancy has {len(brick_used)} entries "
@@ -172,16 +211,113 @@ class Box:
                     f"box {self.box_id} brick {brick.index}: occupancy {used} "
                     f"outside [0, {brick.capacity_units}]"
                 )
-        old_used = self.used_units
-        for brick, used in zip(self.bricks, brick_used):
-            brick.used_units = used
-        self.used_units = sum(brick_used)
-        delta = old_used - self.used_units
-        if delta != 0 and self._on_change is not None:
-            self._on_change(self, delta)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Box(id={self.box_id}, {self.rtype.value}, rack={self.rack_index}, "
             f"avail={self.avail_units}/{self.capacity_units})"
         )
+
+
+class _ArrayBox(Box):
+    """Array-bound view: availability and brick occupancy live in the
+    cluster's state arrays; mutations commit through
+    :meth:`repro.state.ClusterStateArrays.apply_box_delta` so the per-rack
+    maxima and totals stay coherent."""
+
+    __slots__ = ()
+
+    @property
+    def used_units(self) -> int:
+        return self.capacity_units - int(self._state.box_avail[self._tpos][self._pos])
+
+    @property
+    def avail_units(self) -> int:
+        return int(self._state.box_avail[self._tpos][self._pos])
+
+    def _apply_delta(self, delta: int) -> None:
+        """Commit an availability change (positive = release) to the arrays."""
+        self._state.apply_box_delta(self._tpos, self._pos, self.rack_index, delta)
+
+    def allocate(self, units: int) -> BoxAllocation:
+        if units <= 0:
+            raise CapacityError(f"allocation must be positive, got {units}")
+        if units > self.avail_units:
+            raise CapacityError(
+                f"box {self.box_id} ({self.rtype.value}): requested {units} "
+                f"units, only {self.avail_units} available"
+            )
+        remaining = units
+        slices: list[tuple[int, int]] = []
+        # First-fit over one plain-int copy of the brick row, committed with
+        # a single slice write — per-brick array scalar ops would dominate
+        # the placement hot path.
+        arr = self._state.brick_used[self._tpos]
+        lo = self._brick_lo
+        hi = lo + len(self.bricks)
+        row = arr[lo:hi].tolist()
+        for j, brick in enumerate(self.bricks):
+            if remaining == 0:
+                break
+            take = min(remaining, brick.capacity_units - row[j])
+            if take > 0:
+                row[j] += take
+                slices.append((brick.index, take))
+                remaining -= take
+        arr[lo:hi] = row
+        assert remaining == 0, "box/brick accounting diverged"
+        delta = -units
+        self._apply_delta(delta)
+        if self._on_change is not None:
+            self._on_change(self, delta)
+        return BoxAllocation(
+            box_id=self.box_id,
+            rtype=self.rtype,
+            units=units,
+            brick_slices=tuple(slices),
+        )
+
+    def release(self, allocation: BoxAllocation) -> None:
+        if allocation.box_id != self.box_id:
+            raise CapacityError(
+                f"allocation for box {allocation.box_id} released on box "
+                f"{self.box_id}"
+            )
+        if allocation.units > self.used_units:
+            raise CapacityError(
+                f"box {self.box_id}: releasing {allocation.units} units but "
+                f"only {self.used_units} in use"
+            )
+        arr = self._state.brick_used[self._tpos]
+        lo = self._brick_lo
+        hi = lo + len(self.bricks)
+        row = arr[lo:hi].tolist()
+        for brick_index, take in allocation.brick_slices:
+            # Mirror Brick.release exactly, including partial application
+            # before a failing slice surfaces.
+            if take < 0:
+                arr[lo:hi] = row
+                raise CapacityError(f"cannot release negative units: {take}")
+            used = row[brick_index]
+            if take > used:
+                arr[lo:hi] = row
+                raise CapacityError(
+                    f"brick {self.bricks[brick_index].index}: releasing "
+                    f"{take} units but only {used} in use"
+                )
+            row[brick_index] = used - take
+        arr[lo:hi] = row
+        self._apply_delta(allocation.units)
+        if self._on_change is not None:
+            self._on_change(self, allocation.units)
+
+    def set_occupancy(self, brick_used: tuple[int, ...] | list[int]) -> None:
+        self._validate_occupancy(brick_used)
+        old_used = self.used_units
+        lo = self._brick_lo
+        self._state.brick_used[self._tpos][lo : lo + len(self.bricks)] = brick_used
+        delta = old_used - sum(brick_used)
+        if delta != 0:
+            self._apply_delta(delta)
+            if self._on_change is not None:
+                self._on_change(self, delta)

@@ -464,6 +464,18 @@ class CapacityIndex:
         for tindex in self._types.values():
             tindex.rebuild()
 
+    def reload(self, avail_by_type: "List[List[int]]") -> None:
+        """Bulk-load per-box availability, one list per type aligned with
+        ``RESOURCE_ORDER`` and in box-position order.
+
+        Same effect as :meth:`rebuild` without the per-box attribute reads —
+        the array state backend's bulk-restore path hands the availability
+        straight out of its arrays.
+        """
+        for tindex, values in zip(self._types.values(), avail_by_type):
+            tindex.tree.assign(values)
+            tindex.buckets_active = False
+
     # ------------------------------------------------------------------ #
     # Queries (all return Box or None, preserving naive-scan tie-breaks)
     # ------------------------------------------------------------------ #

@@ -12,6 +12,7 @@ import os
 from typing import Iterable
 
 from ..errors import CapacityError, TopologyError
+from ..state import ClusterStateArrays, arrays_enabled
 from ..types import RESOURCE_ORDER, ResourceType, ResourceVector
 from .box import Box
 from .capacity_index import CapacityIndex, index_enabled
@@ -36,6 +37,8 @@ class Cluster:
         "_capacity_index",
         "_pod_rack_ranges",
         "_drained_racks",
+        "_state_arrays",
+        "_version",
     )
 
     def __init__(self, racks: list[Rack]) -> None:
@@ -52,8 +55,14 @@ class Cluster:
                     self._register_box(box)
         self._pod_rack_ranges = self._derive_pod_ranges(racks)
         self._drained_racks: set[int] = set()
+        self._version = 0
+        # The array backend binds before the capacity index so the index's
+        # construction-time reads already go through the (freshly seeded)
+        # arrays — both see identical values either way.
+        self._state_arrays = ClusterStateArrays(self) if arrays_enabled() else None
         self._capacity_index = CapacityIndex(self) if index_enabled() else None
         for rack in racks:
+            rack.bind_state_arrays(self._state_arrays)
             rack.bind_capacity_index(self._capacity_index)
 
     @staticmethod
@@ -131,6 +140,18 @@ class Cluster:
         """The O(log n) placement index, or None in naive mode
         (``REPRO_PLACEMENT_INDEX=naive``)."""
         return self._capacity_index
+
+    @property
+    def state_arrays(self) -> ClusterStateArrays | None:
+        """The struct-of-arrays occupancy state, or None in object mode
+        (``REPRO_STATE_BACKEND=objects``)."""
+        return self._state_arrays
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every occupancy change — lets callers
+        (the metrics collector) skip re-sampling unchanged state."""
+        return self._version
 
     def rack(self, index: int) -> Rack:
         """Rack by index."""
@@ -210,6 +231,7 @@ class Cluster:
         ``set_occupancy`` re-enters this listener once; the second pass sees
         zero availability and stops.
         """
+        self._version += 1
         self._total_avail[box.rtype] += delta
         if self._capacity_index is not None:
             self._capacity_index.update_box(box)
@@ -231,6 +253,11 @@ class Cluster:
         own; this is a defensive bulk lever for external callers that mutate
         bricks directly, and the invariant check the property tests lean on.
         """
+        self._version += 1
+        if self._state_arrays is not None:
+            # Bricks are the authority; resync the derived arrays first so
+            # the box/rack reads below flow through fresh aggregates.
+            self._state_arrays.resync_from_bricks()
         for rtype in RESOURCE_ORDER:
             self._total_avail[rtype] = sum(
                 b.avail_units for b in self._boxes_by_type[rtype]
@@ -283,6 +310,8 @@ class Cluster:
 
     def snapshot(self) -> tuple[tuple[int, ...], ...]:
         """Capture per-box, per-brick occupancy; restorable and comparable."""
+        if self._state_arrays is not None:
+            return self._state_arrays.snapshot_tuples()
         return tuple(
             tuple(brick.used_units for brick in self._box_by_id[bid].bricks)
             for bid in sorted(self._box_by_id)
@@ -299,6 +328,19 @@ class Cluster:
         checkpoint after restoring).
         """
         self._drained_racks.clear()
+        self._version += 1
+        sa = self._state_arrays
+        if sa is not None:
+            sa.bulk_restore(snap)
+            totals = sa.type_totals()
+            for tpos, rtype in enumerate(RESOURCE_ORDER):
+                self._total_avail[rtype] = totals[tpos]
+                rack_totals = sa.rack_totals(tpos).tolist()
+                for rack, total in zip(self.racks, rack_totals):
+                    rack._total_avail[rtype] = total
+            if self._capacity_index is not None:
+                self._capacity_index.reload(sa.avail_lists())
+            return
         ids = sorted(self._box_by_id)
         if len(snap) != len(ids):
             raise TopologyError("snapshot shape does not match cluster")

@@ -19,6 +19,9 @@ from .box import Box
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .capacity_index import CapacityIndex
 
+#: Resource type -> its array position in the state backend.
+_TPOS = {t: i for i, t in enumerate(RESOURCE_ORDER)}
+
 
 class Rack:
     """A rack: per-type box lists plus availability aggregates."""
@@ -30,6 +33,7 @@ class Rack:
         "_max_avail",
         "_total_avail",
         "_capacity_index",
+        "_state_arrays",
     )
 
     def __init__(self, index: int, pod_index: int = 0) -> None:
@@ -44,6 +48,7 @@ class Rack:
         self._max_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
         self._total_avail: dict[ResourceType, int] = {t: 0 for t in RESOURCE_ORDER}
         self._capacity_index: "CapacityIndex" | None = None
+        self._state_arrays = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -59,6 +64,15 @@ class Rack:
         self._boxes_by_type[box.rtype].append(box)
         self._max_avail[box.rtype] = max(self._max_avail[box.rtype], box.avail_units)
         self._total_avail[box.rtype] += box.avail_units
+
+    def bind_state_arrays(self, state) -> None:
+        """Route max-avail queries through the cluster's state arrays.
+
+        Called by the cluster after construction.  While arrays are bound
+        the per-rack ``_max_avail`` cache is neither maintained nor read —
+        the arrays answer from their per-rack maxima directly.
+        """
+        self._state_arrays = state
 
     def bind_capacity_index(self, index: "CapacityIndex" | None) -> None:
         """Route max-avail queries through the cluster's capacity index.
@@ -89,6 +103,9 @@ class Rack:
 
     def max_avail(self, rtype: ResourceType) -> int:
         """Largest single-box availability of ``rtype`` in this rack."""
+        state = self._state_arrays
+        if state is not None:
+            return state.rack_max_value(_TPOS[rtype], self.index)
         if self._capacity_index is not None:
             return self._capacity_index.rack_max_avail(rtype, self.index)
         return self._max_avail[rtype]
@@ -100,6 +117,11 @@ class Rack:
     def can_host(self, request: ResourceVector) -> bool:
         """True when *one box per type* in this rack can hold the whole VM —
         the INTRA_RACK_POOL membership test (Section 4.2)."""
+        state = self._state_arrays
+        if state is not None:
+            return state.rack_can_host(
+                self.index, request.cpu, request.ram, request.storage
+            )
         index = self._capacity_index
         if index is not None:
             return (
@@ -128,8 +150,8 @@ class Rack:
         ``delta`` units (positive = release, negative = allocate)."""
         rtype = box.rtype
         self._total_avail[rtype] += delta
-        if self._capacity_index is not None:
-            return  # maxima come from the index; no per-rack bookkeeping
+        if self._capacity_index is not None or self._state_arrays is not None:
+            return  # maxima come from the index/arrays; no per-rack bookkeeping
         if delta > 0:
             # Release can only raise the max.
             if box.avail_units > self._max_avail[rtype]:

@@ -163,3 +163,60 @@ class TestRecordRetention:
         assert lean.summary.avg_cpu_ram_latency_ns == pytest.approx(
             full.summary.avg_cpu_ram_latency_ns
         )
+
+
+class TestSampleDedup:
+    """Event sampling skips utilization recomputes when state is unchanged."""
+
+    def test_drop_skips_recompute_but_advances_clock(self, env, monkeypatch):
+        spec, cluster, fabric, scheduler, collector = env
+        placement = scheduler.schedule(small_request(spec))
+        collector.record_assignment(placement, now=1.0)
+        calls = []
+        real = type(fabric).tier_utilization
+
+        def spy(self, tier):
+            calls.append(tier)
+            return real(self, tier)
+
+        monkeypatch.setattr(type(fabric), "tier_utilization", spy)
+        # A drop touches no cluster/fabric state: the versions match, so the
+        # sample advances the gauge clocks without recomputing utilization.
+        collector.record_drop(small_request(spec, vm_id=1), now=5.0)
+        assert calls == []
+        assert collector.last_event_time == 5.0
+        # The advance still accrued integral at the standing value.
+        assert collector.average_utilization("intra_net") == pytest.approx(
+            collector.peak_utilization("intra_net")
+        )
+
+    def test_dedup_matches_unconditional_sampling(self, env):
+        """A drop-heavy run produces the identical snapshot either way."""
+        spec, cluster, fabric, scheduler, collector = env
+        reference = MetricsCollector(spec, cluster, fabric)
+        placement = scheduler.schedule(small_request(spec))
+        for c in (collector, reference):
+            c.record_assignment(placement, now=1.0)
+        # Force the reference to resample fully every time.
+        for now in (2.0, 2.0, 3.5, 7.25):
+            reference._cluster_version = -1
+            reference._fabric_version = -1
+            for c in (collector, reference):
+                c.record_drop(small_request(spec, vm_id=int(now)), now=now)
+        scheduler.release(placement)
+        for c in (collector, reference):
+            c.record_release(now=10.0)
+        snap = collector.snapshot()
+        ref = reference.snapshot()
+        assert snap.gauges == ref.gauges
+        assert snap.last_event_time == ref.last_event_time
+
+    def test_state_change_at_same_timestamp_resamples(self, env):
+        """Zero dt with changed state must still refresh values and peaks."""
+        spec, cluster, fabric, scheduler, collector = env
+        p1 = scheduler.schedule(small_request(spec))
+        collector.record_assignment(p1, now=1.0)
+        before = collector.peak_utilization("cpu")
+        p2 = scheduler.schedule(small_request(spec, vm_id=1))
+        collector.record_assignment(p2, now=1.0)  # same instant, new state
+        assert collector.peak_utilization("cpu") > before

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
-from repro.metrics import TimeWeightedGauge
+from repro.metrics import GaugeBank, TimeWeightedGauge
 
 
 def test_constant_signal_average():
@@ -66,3 +66,98 @@ def test_average_bounded_by_extremes(steps):
         values.append(value)
     avg = gauge.average()
     assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+
+class TestSampleHistory:
+    def test_sample_records_change_points(self):
+        g = TimeWeightedGauge(keep_records=True)
+        g.sample(1.0, 0.5)
+        g.sample(2.0, 0.5)  # unchanged: coalesced away
+        g.sample(3.0, 0.8)
+        g.sample(4.0, 0.8)  # unchanged: coalesced away
+        g.sample(5.0, 0.5)
+        assert g.history == ((1.0, 0.5), (3.0, 0.8), (5.0, 0.5))
+
+    def test_coalescing_preserves_integral(self):
+        dense = TimeWeightedGauge(keep_records=True)
+        plain = TimeWeightedGauge()
+        for t, v in ((1.0, 0.2), (2.0, 0.2), (3.0, 0.6), (4.5, 0.6), (6.0, 0.1)):
+            dense.sample(t, v)
+            plain.update(t, v)
+        assert dense.average() == plain.average()
+        assert dense.peak == plain.peak
+
+    def test_history_off_by_default(self):
+        g = TimeWeightedGauge()
+        g.sample(1.0, 0.5)
+        g.sample(2.0, 0.9)
+        assert g.history == ()
+
+    def test_restart_clears_history(self):
+        g = TimeWeightedGauge(keep_records=True)
+        g.sample(1.0, 0.5)
+        g.restart(5.0)
+        assert g.history == ()
+        g.sample(6.0, 0.3)
+        assert g.history == ((6.0, 0.3),)
+
+
+class TestGaugeBank:
+    def _lockstep(self, updates):
+        """Apply the same updates to a bank and a dict of gauges."""
+        names = ("a", "b", "c")
+        bank = GaugeBank(names)
+        gauges = {name: TimeWeightedGauge() for name in names}
+        for op in updates:
+            if op[0] == "update":
+                _, now, values = op
+                bank.update_all(now, values)
+                for name, v in zip(names, values):
+                    gauges[name].update(now, v)
+            elif op[0] == "advance":
+                bank.advance_all(op[1])
+                for g in gauges.values():
+                    g.advance(op[1])
+            elif op[0] == "restart":
+                bank.restart_all(op[1])
+                for g in gauges.values():
+                    g.restart(op[1])
+        return bank, gauges, names
+
+    def test_bank_matches_gauges_bitwise(self):
+        bank, gauges, names = self._lockstep(
+            [
+                ("update", 1.0, [0.1, 0.2, 0.3]),
+                ("advance", 1.5),
+                ("update", 2.0, [0.4, 0.2, 0.9]),
+                ("restart", 3.0),
+                ("update", 4.0, [0.7, 0.1, 0.2]),
+                ("update", 6.5, [0.2, 0.8, 0.2]),
+            ]
+        )
+        assert bank.snapshot_tuples() == tuple(
+            (name, gauges[name].snapshot()) for name in names
+        )
+        for name in names:
+            assert bank.average(name) == gauges[name].average()
+            assert bank.peak_of(name) == gauges[name].peak
+            assert bank.value_of(name) == gauges[name].value
+
+    def test_bank_snapshot_restore_roundtrip(self):
+        bank, _, names = self._lockstep(
+            [("update", 1.0, [0.1, 0.2, 0.3]), ("update", 2.0, [0.5, 0.1, 0.8])]
+        )
+        snap = bank.snapshot_tuples()
+        bank.update_all(5.0, [0.9, 0.9, 0.9])
+        bank.restore_tuples(snap)
+        assert bank.snapshot_tuples() == snap
+
+    def test_bank_clock_must_not_go_backwards(self):
+        bank = GaugeBank(("x",))
+        bank.update_all(5.0, [0.1])
+        with pytest.raises(SimulationError, match="clock moved backwards"):
+            bank.advance_all(4.0)
+
+    def test_bank_rejects_duplicate_names(self):
+        with pytest.raises(SimulationError, match="duplicate gauge names"):
+            GaugeBank(("x", "x"))
