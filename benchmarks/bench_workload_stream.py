@@ -1,0 +1,178 @@
+"""Streaming workload pipeline: columnar arrivals vs legacy object lists.
+
+Three gates on the million-VM pipeline (``workloads/columns.py`` +
+``FlatEngine`` arrival sources):
+
+* **Correctness** — event digests bit-identical between streamed-columnar
+  and list-of-objects arrivals for all four paper schedulers × seeds 0-4.
+* **Throughput** — streamed end-to-end events/sec no worse than the legacy
+  in-memory path on a 100k-VM steady-state trace (best-of-``REPEATS``,
+  with a small tolerance for shared-box noise).
+* **Memory** — peak RSS, measured in subprocess probes (``ru_maxrss`` is a
+  process-lifetime high-water mark): the streamed 100k run must stay under
+  the legacy run's footprint; in full mode a 1,000,000-VM streamed run
+  must finish within ``RSS_GROWTH_CAP``x the streamed 100k footprint —
+  bounded, where the legacy path grows linearly with trace length.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) keeps the 100k gates and skips only
+the million-VM probe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import paper_default
+from repro.schedulers import PAPER_SCHEDULERS
+from repro.sim import DDCSimulator, EventLog
+from repro.workloads import generate_synthetic_columns
+
+from conftest import bench_quick
+from _stream_rss import azure_like_params
+
+#: Digest-equivalence grid (schedulers come from PAPER_SCHEDULERS).
+DIGEST_SEEDS = (0, 1, 2, 3, 4)
+DIGEST_COUNT = 300 if bench_quick() else 800
+
+#: Steady-state trace sizes for the throughput and RSS gates.
+THROUGHPUT_COUNT = 100_000
+FULL_COUNT = 1_000_000
+
+#: Best-of runs per arrival path in the throughput gate.
+REPEATS = 2
+
+#: Streamed events/sec must be at least this fraction of legacy —
+#: "no worse", minus tolerance for shared-box noise (measured ~1.1x).
+MIN_STREAM_RATIO = 0.90
+
+#: Streamed 100k peak RSS must not exceed legacy's by more than this.
+RSS_HEADROOM = 1.10
+
+#: Streamed 1M peak RSS cap, as a multiple of the streamed 100k run.
+RSS_GROWTH_CAP = 2.0
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _probe(mode: str, count: int) -> dict:
+    """Run one RSS probe in a fresh interpreter (see ``_stream_rss.py``)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, str(Path(__file__).parent / "_stream_rss.py"),
+         "--mode", mode, "--count", str(count)],
+        check=True, capture_output=True, text=True, env=env,
+    )
+    return json.loads(out.stdout)
+
+
+def test_stream_digest_equivalence():
+    """Streamed-columnar arrivals replay the legacy event stream bit for
+    bit: all four schedulers × seeds 0-4."""
+    spec = paper_default()
+    params = azure_like_params(DIGEST_COUNT)
+    for scheduler in PAPER_SCHEDULERS:
+        for seed in DIGEST_SEEDS:
+            columns = generate_synthetic_columns(params, seed=seed)
+            legacy_log, stream_log = EventLog(), EventLog()
+            DDCSimulator(spec, scheduler, event_log=legacy_log,
+                         keep_records=False).run(columns.to_vms())
+            DDCSimulator(spec, scheduler, event_log=stream_log,
+                         keep_records=False, chunk_size=4096).run(columns)
+            assert legacy_log.digest() == stream_log.digest(), (
+                f"{scheduler} seed {seed}: streamed event stream diverged "
+                "from the legacy list-of-objects run"
+            )
+
+
+def _run_path(columns, streamed: bool) -> tuple[float, int]:
+    """Best-of-``REPEATS`` wall time of one arrival path; returns
+    ``(best_wall_s, events)``."""
+    trace = columns if streamed else columns.to_vms()
+    best = float("inf")
+    events = 0
+    for _ in range(REPEATS):
+        simulator = DDCSimulator(paper_default(), "risa", keep_records=False)
+        start = time.perf_counter()
+        result = simulator.run(trace)
+        best = min(best, time.perf_counter() - start)
+        summary = result.summary
+        events = 2 * summary.scheduled_vms + summary.dropped_vms
+    return best, events
+
+
+def test_stream_throughput(benchmark):
+    """Streamed arrivals must match legacy events/sec at 100k VMs."""
+    columns = generate_synthetic_columns(
+        azure_like_params(THROUGHPUT_COUNT), seed=0
+    )
+
+    def both():
+        legacy_s, events = _run_path(columns, streamed=False)
+        streamed_s, _ = _run_path(columns, streamed=True)
+        return legacy_s, streamed_s, events
+
+    legacy_s, streamed_s, events = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    legacy_eps = events / legacy_s
+    streamed_eps = events / streamed_s
+    ratio = streamed_eps / legacy_eps
+    benchmark.extra_info["vms"] = THROUGHPUT_COUNT
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["legacy_events_per_sec"] = legacy_eps
+    benchmark.extra_info["streamed_events_per_sec"] = streamed_eps
+    benchmark.extra_info["streamed_over_legacy"] = ratio
+    print(
+        f"\nworkload stream (100k VMs, risa): "
+        f"legacy={legacy_eps:,.0f} ev/s streamed={streamed_eps:,.0f} ev/s "
+        f"ratio={ratio:.2f}x"
+    )
+    assert ratio >= MIN_STREAM_RATIO, (
+        f"streamed path at {ratio:.2f}x legacy events/sec "
+        f"(< {MIN_STREAM_RATIO}x floor)"
+    )
+
+
+def test_stream_peak_rss(benchmark):
+    """Streamed 100k run fits under the legacy footprint; in full mode the
+    1M-VM streamed run stays within ``RSS_GROWTH_CAP``x of it."""
+    def probes():
+        results = {
+            "legacy_100k": _probe("legacy", THROUGHPUT_COUNT),
+            "streamed_100k": _probe("streamed", THROUGHPUT_COUNT),
+        }
+        if not bench_quick():
+            results["streamed_1m"] = _probe("streamed", FULL_COUNT)
+        return results
+
+    results = benchmark.pedantic(probes, rounds=1, iterations=1)
+    legacy = results["legacy_100k"]["peak_rss_bytes"]
+    streamed = results["streamed_100k"]["peak_rss_bytes"]
+    for name, record in results.items():
+        benchmark.extra_info[f"{name}_peak_rss_bytes"] = record["peak_rss_bytes"]
+        benchmark.extra_info[f"{name}_events_per_sec"] = record["events_per_sec"]
+        print(
+            f"\n{name}: {record['peak_rss_bytes'] / 2**20:,.1f} MiB peak, "
+            f"{record['events_per_sec']:,.0f} ev/s"
+        )
+    if legacy == 0 or streamed == 0:
+        pytest.skip("peak RSS unavailable on this platform")
+    assert streamed <= RSS_HEADROOM * legacy, (
+        f"streamed 100k run peaked at {streamed / 2**20:.1f} MiB, above "
+        f"{RSS_HEADROOM}x the legacy run's {legacy / 2**20:.1f} MiB"
+    )
+    if "streamed_1m" in results:
+        full = results["streamed_1m"]["peak_rss_bytes"]
+        assert full <= RSS_GROWTH_CAP * streamed, (
+            f"1M-VM streamed run peaked at {full / 2**20:.1f} MiB, above "
+            f"{RSS_GROWTH_CAP}x the 100k-VM run's {streamed / 2**20:.1f} MiB "
+            "— streaming memory is supposed to be bounded in trace length"
+        )

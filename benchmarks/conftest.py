@@ -28,6 +28,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.memstats import peak_rss_bytes
+
 if "REPRO_BENCH_ENGINE" in os.environ:
     os.environ["REPRO_SIM_ENGINE"] = os.environ["REPRO_BENCH_ENGINE"]
 
@@ -62,6 +64,10 @@ def pytest_sessionfinish(session, exitstatus):
         consolidated = json.loads(path.read_text())
     except (OSError, ValueError):
         consolidated = {}
+    # One per-session number (ru_maxrss is process-lifetime), stamped on
+    # every entry: CI runs each bench file as its own pytest invocation, so
+    # it reflects that file's heaviest benchmark.
+    session_rss = peak_rss_bytes()
     for bench in bench_session.benchmarks:
         stats = bench.stats
         consolidated[bench.name] = {
@@ -69,6 +75,7 @@ def pytest_sessionfinish(session, exitstatus):
             "mean_s": stats.mean,
             "rounds": stats.rounds,
             "quick": bench_quick(),
+            "peak_rss_bytes": session_rss,
             "extra_info": dict(bench.extra_info),
         }
     path.write_text(json.dumps(consolidated, indent=2, sort_keys=True) + "\n")
@@ -79,6 +86,7 @@ def run_figure(benchmark, driver, quick: bool):
     result = benchmark.pedantic(
         driver, kwargs={"quick": quick, "seed": 0}, rounds=1, iterations=1
     )
+    benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()
     assert result.shape_ok, result.report()
     print()
     print(result.report())

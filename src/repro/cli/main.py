@@ -20,12 +20,17 @@ Subcommands
 ``scenarios``    — what-if branches (admission thresholds, tier
                    oversubscription, pod failure) forked off a shared warm
                    prefix instead of cold reruns.
+``trace``        — the workload pipeline: synthesize named traces into
+                   files (columnar ``.npz`` or JSONL by suffix), convert
+                   between the formats, inspect a trace file, and list or
+                   clear the on-disk workload store.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from ..analysis import compare_schedulers, compare_over_seeds, occupancy_table, placement_map, stats_table
@@ -48,14 +53,18 @@ from ..experiments import (
     run_all,
     run_experiment,
 )
+from ..experiments import workload_cache
 from ..experiments.sweep import build_workload
 from ..schedulers import ALL_SCHEDULERS, PAPER_SCHEDULERS
 from ..sim import simulate
 from ..workloads import (
     SyntheticWorkloadParams,
+    TraceColumns,
     generate_synthetic,
     load_trace,
+    load_trace_npz,
     save_trace,
+    save_trace_npz,
 )
 
 
@@ -254,7 +263,131 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="POD", help="one branch per failed (drained) pod")
     p.add_argument("--parallel", type=int, default=1,
                    help="fan (scheduler, seed) trees across N workers")
+
+    p = sub.add_parser(
+        "trace",
+        help="synthesize, convert, or inspect trace files; manage the "
+             "on-disk workload store",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser(
+        "synthesize", help="generate a named workload into a trace file"
+    )
+    t.add_argument("output", help="output path (.npz = columnar, else JSONL)")
+    t.add_argument("--workload", default="synthetic",
+                   help="synthetic | azure-3000 | azure-5000 | azure-7500")
+    t.add_argument("--count", type=int, default=0, help="truncate to N VMs")
+    t.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+
+    t = tsub.add_parser(
+        "convert", help="convert a trace between JSONL and columnar .npz"
+    )
+    t.add_argument("input", help="input trace (.npz or JSONL)")
+    t.add_argument("output", help="output trace (format follows the suffix)")
+
+    t = tsub.add_parser("inspect", help="summarize a trace file")
+    t.add_argument("path", help="trace file (.npz or JSONL)")
+
+    t = tsub.add_parser(
+        "cache", help="list (or clear) the on-disk workload store"
+    )
+    t.add_argument("--clear", action="store_true",
+                   help="delete every store entry")
     return parser
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand family (workload pipeline tooling)."""
+    if args.trace_command == "synthesize":
+        try:
+            columns = workload_cache.cached_columns(
+                args.workload, args.count or None, args.seed
+            )
+        except WorkloadError as exc:
+            raise SystemExit(str(exc)) from None
+        output = Path(args.output)
+        if output.suffix.lower() == ".npz":
+            # Stamp the trace's provenance into the file, like a store entry.
+            count = save_trace_npz(
+                columns,
+                output,
+                metadata={
+                    "workload": args.workload,
+                    "count": args.count or None,
+                    "seed": args.seed,
+                },
+            )
+        else:
+            count = save_trace(columns, output)
+        print(f"wrote {count} VM requests to {args.output}")
+        return 0
+
+    if args.trace_command == "convert":
+        source = Path(args.input)
+        try:
+            # .npz input stays columnar (no object materialization);
+            # JSONL input comes up as objects and converts on write.
+            trace: TraceColumns | list
+            if source.suffix.lower() == ".npz":
+                trace = load_trace_npz(source)
+            else:
+                trace = load_trace(source)
+            count = save_trace(trace, args.output)
+        except WorkloadError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"converted {count} VM requests: {args.input} -> {args.output}")
+        return 0
+
+    if args.trace_command == "inspect":
+        path = Path(args.path)
+        metadata: dict = {}
+        try:
+            if path.suffix.lower() == ".npz":
+                columns, metadata = load_trace_npz(path, with_metadata=True)
+            else:
+                columns = TraceColumns.from_vms(load_trace(path))
+        except WorkloadError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"{path}: {len(columns)} VM requests")
+        if len(columns):
+            arrival = columns.arrival
+            print(f"  arrival span     {arrival[0]:g} .. {arrival[-1]:g}"
+                  f" (sorted: {columns.is_sorted()})")
+            print(f"  lifetime         {columns.lifetime.min():g}"
+                  f" .. {columns.lifetime.max():g}")
+            print(f"  cpu cores        {columns.cpu_cores.min()}"
+                  f" .. {columns.cpu_cores.max()}")
+            print(f"  ram gb           {columns.ram_gb.min():g}"
+                  f" .. {columns.ram_gb.max():g}")
+            print(f"  storage gb       {columns.storage_gb.min():g}"
+                  f" .. {columns.storage_gb.max():g}")
+        for key, value in sorted(metadata.items()):
+            print(f"  meta {key:12s} {value}")
+        return 0
+
+    if args.trace_command == "cache":
+        root = workload_cache.cache_dir()
+        if root is None:
+            print(
+                "workload store disabled "
+                f"({workload_cache.CACHE_ENV_VAR} is off)"
+            )
+            return 0
+        if args.clear:
+            removed = workload_cache.clear_cache()
+            print(f"removed {removed} entries from {root}")
+            return 0
+        entries = workload_cache.cache_entries()
+        print(f"{len(entries)} entries in {root}")
+        for path in entries:
+            size_kib = path.stat().st_size / 1024
+            print(f"  {path.name:48s} {size_kib:8.1f} KiB")
+        return 0
+
+    raise SystemExit(
+        f"unhandled trace command {args.trace_command!r}"
+    )  # pragma: no cover
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -385,6 +518,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         )
         return 0
+
+    if args.command == "trace":
+        return _run_trace_command(args)
 
     if args.command == "scenarios":
         if args.seeds < 1:

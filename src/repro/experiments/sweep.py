@@ -3,13 +3,17 @@
 A :class:`SimulationSession` fans (scheduler, seed, workload) simulation
 points across ``concurrent.futures.ProcessPoolExecutor`` workers.  Points
 reference workloads *by name and seed*, never by value: each worker process
-regenerates traces through a module-level LRU cache, so a four-scheduler
-sweep over one seed builds that trace once per worker instead of pickling
-multi-megabyte VM lists across the pool boundary.
+loads the trace as columnar arrays through the content-addressed store in
+:mod:`repro.experiments.workload_cache` (first toucher generates and writes
+the ``.npz``; everyone else loads arrays in milliseconds), so a
+four-scheduler sweep over one seed never pickles multi-megabyte VM lists
+across the pool boundary — and never even *builds* per-VM objects beyond
+the one :attr:`SweepPoint.chunk_size` slice being dispatched.
 
 Results come back as picklable :class:`SweepOutcome` rows (summary scalars
-only — per-VM records stay in the worker) in submission order, so a
-``parallel=1`` session and an N-worker session produce identical output.
+only — per-VM records stay in the worker; each row carries the worker's
+peak RSS) in submission order, so a ``parallel=1`` session and an N-worker
+session produce identical output.
 
 Scenario studies (:meth:`SimulationSession.scenarios`) schedule whole
 :class:`~repro.experiments.scenarios.ScenarioTree`\\ s as points: one point
@@ -27,12 +31,13 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..analysis.ascii_plot import ascii_table
 from ..config import ClusterSpec, paper_default
-from ..errors import WorkloadError
+from ..memstats import peak_rss_bytes
 from ..metrics import RunSummary, aggregate_summaries
 from ..schedulers import PAPER_SCHEDULERS
-from ..sim import default_engine, simulate
-from ..workloads import SyntheticWorkloadParams, VMRequest, generate_synthetic, synthesize_azure
+from ..sim import DDCSimulator, default_engine
+from ..workloads import VMRequest
 from .scenarios import ScenarioOutcome, ScenarioResult, ScenarioTree, run_scenario_tree
+from .workload_cache import cached_columns
 
 _PointT = TypeVar("_PointT")
 _OutcomeT = TypeVar("_OutcomeT")
@@ -51,6 +56,9 @@ class SweepPoint:
     #: Sweeps only ship summary scalars back, so per-VM record retention
     #: defaults off — metric memory stays O(1) in trace length.
     keep_records: bool = False
+    #: Arrival-resolution batch size (None = the engine default).  The
+    #: worker keeps at most one chunk of resolved request objects resident.
+    chunk_size: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +68,11 @@ class SweepOutcome:
     point: SweepPoint
     summary: RunSummary
     end_time: float
+    #: Peak resident set size of the worker process after this point ran
+    #: (bytes; 0 = unknown).  A process-lifetime high-water mark — on a
+    #: multi-point worker it reflects the largest point so far, not this
+    #: point alone.
+    peak_rss_bytes: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -117,41 +130,40 @@ def _init_worker(spec: ClusterSpec) -> None:
 
 @lru_cache(maxsize=32)
 def build_workload(workload: str, count: int | None, seed: int) -> tuple[VMRequest, ...]:
-    """Build (and cache, per process) one named workload trace.
+    """Build (and cache, per process) one named workload trace as objects.
 
-    The single parser for workload names — the CLI and the sweep layer both
-    resolve ``synthetic`` / ``azure-<subset>`` through here.
+    Name parsing and generation go through the workload cache
+    (:func:`~repro.experiments.workload_cache.cached_columns`); this wrapper
+    only adds the object conversion for callers that still want
+    :class:`VMRequest` tuples (scenario trees, the CLI's ``run`` command).
+    Sweep points themselves stream the columns directly.
     """
-    if workload == "synthetic":
-        params = SyntheticWorkloadParams(count=count) if count is not None else None
-        return tuple(generate_synthetic(params, seed=seed))
-    if workload.startswith("azure-"):
-        try:
-            subset = int(workload.split("-", 1)[1])
-        except ValueError:
-            raise WorkloadError(
-                f"bad azure workload {workload!r}; expected 'azure-<subset>' "
-                "with a numeric subset, e.g. azure-3000"
-            ) from None
-        vms = synthesize_azure(subset, seed=seed)
-        return tuple(vms if count is None else vms[:count])
-    raise WorkloadError(
-        f"unknown workload {workload!r}; use 'synthetic' or 'azure-<subset>'"
-    )
+    return tuple(cached_columns(workload, count, seed).to_vms())
 
 
 def _run_point(point: SweepPoint) -> SweepOutcome:
-    """Run one sweep point against the worker's pinned spec."""
+    """Run one sweep point against the worker's pinned spec.
+
+    The trace stays columnar end to end: loaded (or generated once) through
+    the on-disk store, bound to the engine as a chunked arrival source —
+    per-VM request objects exist only for the chunk being dispatched.
+    """
     spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
-    vms = build_workload(point.workload, point.count, point.seed)
-    result = simulate(
+    columns = cached_columns(point.workload, point.count, point.seed)
+    simulator = DDCSimulator(
         spec,
         point.scheduler,
-        vms,
         engine=point.engine,
         keep_records=point.keep_records,
+        chunk_size=point.chunk_size,
     )
-    return SweepOutcome(point=point, summary=result.summary, end_time=result.end_time)
+    result = simulator.run(columns)
+    return SweepOutcome(
+        point=point,
+        summary=result.summary,
+        end_time=result.end_time,
+        peak_rss_bytes=peak_rss_bytes(),
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -208,11 +220,16 @@ class SimulationSession:
         parallel: int = 1,
         engine: str | None = None,
         keep_records: bool = False,
+        chunk_size: int | None = None,
     ) -> None:
         self.spec = spec if spec is not None else paper_default()
         self.parallel = max(1, int(parallel))
         self.engine = default_engine() if engine is None else engine
         self.keep_records = keep_records
+        #: Arrival-resolution batch size forwarded to every point — bounds
+        #: each worker to one resolved chunk of request objects at a time
+        #: regardless of trace length (None = engine default).
+        self.chunk_size = chunk_size
 
     def _map_points(
         self,
@@ -262,6 +279,7 @@ class SimulationSession:
                 count=count,
                 engine=self.engine,
                 keep_records=self.keep_records,
+                chunk_size=self.chunk_size,
             )
             for seed in seeds
             for scheduler in schedulers

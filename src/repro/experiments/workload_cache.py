@@ -1,24 +1,251 @@
-"""Shared workload construction for the experiment drivers.
+"""Workload construction with a content-addressed on-disk trace store.
 
-``quick=True`` shrinks workloads (for CI-speed tests and pytest-benchmark
-warmup) while preserving the dynamics that produce the paper's shapes; the
-full sizes match the paper exactly.
+Two layers, one entry point (:func:`cached_columns`):
+
+* an **in-RAM** ``lru_cache`` of :class:`~repro.workloads.TraceColumns`
+  (arrays are ~50 bytes/VM, so even a million-VM trace is a few tens of MB
+  — far smaller than the equivalent object list);
+* an **on-disk** store of compressed ``.npz`` traces keyed by a SHA-256 of
+  ``(workload, count, seed, generator version)``, so sweep *worker
+  processes* — which share no Python state — load arrays in milliseconds
+  instead of regenerating the trace once per process.
+
+The store lives at ``~/.cache/repro/workloads`` unless the
+``REPRO_WORKLOAD_CACHE`` environment variable points elsewhere (or disables
+it with ``0``/``off``/``none``/``disabled``/empty).  Entries carry their key
+in the ``.npz`` metadata record; a corrupt file, a foreign file, or a
+generator-version mismatch is silently regenerated — the cache is never
+trusted over the generators.  An unwritable cache directory degrades to
+in-RAM-only operation.
+
+This module is also the canonical parser of workload *names*
+(``synthetic`` / ``azure-<subset>``): the CLI and the sweep layer both
+resolve names through :func:`cached_columns`.
+
+``quick=True`` on the legacy helpers shrinks workloads (for CI-speed tests
+and pytest-benchmark warmup) while preserving the dynamics that produce the
+paper's shapes; the full sizes match the paper exactly.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import tempfile
 from functools import lru_cache
+from pathlib import Path
 
+from ..errors import WorkloadError
 from ..workloads import (
+    AZURE_SUBSETS,
     SyntheticWorkloadParams,
+    TraceColumns,
     VMRequest,
-    generate_synthetic,
-    synthesize_azure,
+    generate_synthetic_columns,
+    load_trace_npz,
+    save_trace_npz,
+    synthesize_azure_columns,
 )
 
 #: Quick-mode sizes: enough VMs for the steady-state shapes to emerge.
 QUICK_SYNTHETIC_COUNT = 800
 QUICK_AZURE_SUBSET = 3000
+
+#: Bump when any generator's output changes for the same (workload, count,
+#: seed) — stale disk entries are then regenerated, not trusted.
+WORKLOAD_GENERATOR_VERSION = 1
+
+#: Environment variable naming the on-disk store directory (or disabling it).
+CACHE_ENV_VAR = "REPRO_WORKLOAD_CACHE"
+
+_DISABLED_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+
+
+# ---------------------------------------------------------------------- #
+# Name parsing (the canonical 'synthetic' / 'azure-<subset>' grammar)
+# ---------------------------------------------------------------------- #
+
+
+def parse_workload_name(workload: str) -> tuple[str, int | None]:
+    """Split a workload name into ``("synthetic", None)`` / ``("azure", subset)``."""
+    if workload == "synthetic":
+        return "synthetic", None
+    if workload.startswith("azure-"):
+        try:
+            subset = int(workload.split("-", 1)[1])
+        except ValueError:
+            raise WorkloadError(
+                f"bad azure workload {workload!r}; expected 'azure-<subset>' "
+                "with a numeric subset, e.g. azure-3000"
+            ) from None
+        return "azure", subset
+    raise WorkloadError(
+        f"unknown workload {workload!r}; use 'synthetic' or 'azure-<subset>'"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# On-disk store
+# ---------------------------------------------------------------------- #
+
+
+def cache_dir() -> Path | None:
+    """The on-disk store directory, or None when the store is disabled."""
+    raw = os.environ.get(CACHE_ENV_VAR)
+    if raw is not None:
+        if raw.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "repro" / "workloads"
+
+
+def cache_key(workload: str, count: int | None, seed: int) -> str:
+    """Content key of one generated trace (hex SHA-256).
+
+    The key pins everything the generated arrays depend on: the workload
+    name, the VM count (synthetic traces *differ* per count — the RNG draw
+    sizes change), the seed, and the generator version.
+    """
+    text = f"{workload}|count={count}|seed={seed}|gen=v{WORKLOAD_GENERATOR_VERSION}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def cache_path(workload: str, count: int | None, seed: int) -> Path | None:
+    """Store path of one trace (None when the store is disabled)."""
+    root = cache_dir()
+    if root is None:
+        return None
+    key = cache_key(workload, count, seed)
+    stem = f"{workload}-s{seed}" if count is None else f"{workload}-n{count}-s{seed}"
+    return root / f"{stem}-{key[:16]}.npz"
+
+
+def _metadata(workload: str, count: int | None, seed: int) -> dict:
+    return {
+        "workload": workload,
+        "count": count,
+        "seed": seed,
+        "generator_version": WORKLOAD_GENERATOR_VERSION,
+        "key": cache_key(workload, count, seed),
+    }
+
+
+def _load_entry(path: Path, expected: dict) -> TraceColumns | None:
+    """Load one store entry, or None when it is missing/corrupt/stale."""
+    if not path.exists():
+        return None
+    try:
+        columns, metadata = load_trace_npz(path, with_metadata=True)
+    except WorkloadError:
+        return None
+    if metadata.get("key") != expected["key"]:
+        return None
+    if metadata.get("generator_version") != WORKLOAD_GENERATOR_VERSION:
+        return None
+    return columns
+
+
+def _store_entry(path: Path, columns: TraceColumns, metadata: dict) -> None:
+    """Atomically write one store entry; storage failures are non-fatal."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            save_trace_npz(columns, tmp_name, metadata=metadata)
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+    except OSError:
+        # Unwritable store (read-only home, full disk, ...): degrade to
+        # in-RAM-only caching rather than failing the experiment.
+        return
+
+
+def cache_entries() -> tuple[Path, ...]:
+    """The store's ``.npz`` files (empty when disabled or not yet created)."""
+    root = cache_dir()
+    if root is None or not root.is_dir():
+        return ()
+    return tuple(sorted(root.glob("*.npz")))
+
+
+def clear_cache() -> int:
+    """Delete every store entry; returns the number removed."""
+    removed = 0
+    for path in cache_entries():
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-RAM trace cache (the disk store is untouched)."""
+    _columns_cached.cache_clear()
+    _synthetic_cached.cache_clear()
+    _azure_cached.cache_clear()
+
+
+# ---------------------------------------------------------------------- #
+# Trace construction
+# ---------------------------------------------------------------------- #
+
+
+def generate_columns(workload: str, count: int | None, seed: int) -> TraceColumns:
+    """Generate one named trace as columns, bypassing every cache.
+
+    Azure traces are always generated at the *full* subset size (truncation
+    is a view, applied by :func:`cached_columns`); synthetic traces are
+    generated at exactly ``count`` VMs (their RNG stream depends on it).
+    """
+    kind, subset = parse_workload_name(workload)
+    if kind == "synthetic":
+        params = SyntheticWorkloadParams(count=count) if count is not None else None
+        return generate_synthetic_columns(params, seed=seed)
+    return synthesize_azure_columns(subset, seed=seed)
+
+
+def cached_columns(
+    workload: str, count: int | None = None, seed: int = 0
+) -> TraceColumns:
+    """One named trace as columns, through the RAM and disk caches.
+
+    The returned :class:`TraceColumns` is shared between callers — treat it
+    as immutable.  Azure traces are stored once per (subset, seed) and
+    truncated to ``count`` as a zero-copy view, mirroring the legacy
+    ``vms[:count]`` semantics; synthetic traces are stored per (count,
+    seed).
+    """
+    kind, _ = parse_workload_name(workload)
+    if kind == "azure":
+        columns = _columns_cached(workload, None, seed)
+        return columns if count is None else columns.slice(0, count)
+    return _columns_cached(workload, count, seed)
+
+
+@lru_cache(maxsize=16)
+def _columns_cached(workload: str, count: int | None, seed: int) -> TraceColumns:
+    path = cache_path(workload, count, seed)
+    metadata = _metadata(workload, count, seed)
+    if path is not None:
+        columns = _load_entry(path, metadata)
+        if columns is not None:
+            return columns
+    columns = generate_columns(workload, count, seed)
+    if path is not None:
+        _store_entry(path, columns, metadata)
+    return columns
+
+
+# ---------------------------------------------------------------------- #
+# Legacy object-list helpers (experiment drivers, figures)
+# ---------------------------------------------------------------------- #
 
 
 def synthetic_workload(quick: bool = False, seed: int = 0) -> list[VMRequest]:
@@ -28,10 +255,8 @@ def synthetic_workload(quick: bool = False, seed: int = 0) -> list[VMRequest]:
 
 @lru_cache(maxsize=8)
 def _synthetic_cached(quick: bool, seed: int) -> list[VMRequest]:
-    if quick:
-        params = SyntheticWorkloadParams(count=QUICK_SYNTHETIC_COUNT)
-        return generate_synthetic(params, seed=seed)
-    return generate_synthetic(seed=seed)
+    count = QUICK_SYNTHETIC_COUNT if quick else None
+    return cached_columns("synthetic", count, seed).to_vms()
 
 
 def azure_workload(subset: int, quick: bool = False, seed: int = 0) -> list[VMRequest]:
@@ -44,9 +269,9 @@ def azure_workload(subset: int, quick: bool = False, seed: int = 0) -> list[VMRe
 
 @lru_cache(maxsize=8)
 def _azure_cached(subset: int, seed: int) -> tuple[VMRequest, ...]:
-    return tuple(synthesize_azure(subset, seed=seed))
+    return tuple(cached_columns(f"azure-{subset}", None, seed).to_vms())
 
 
 def azure_subsets(quick: bool = False) -> tuple[int, ...]:
     """Subsets evaluated; quick mode keeps just Azure-3000."""
-    return (QUICK_AZURE_SUBSET,) if quick else (3000, 5000, 7500)
+    return (QUICK_AZURE_SUBSET,) if quick else AZURE_SUBSETS

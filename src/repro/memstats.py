@@ -1,0 +1,35 @@
+"""Process memory accounting for benchmarks and sweeps.
+
+One function: :func:`peak_rss_bytes`, the high-water resident set size of
+the current process.  ``resource.getrusage`` reports it on POSIX (in KiB on
+Linux, bytes on macOS); where ``resource`` is unavailable the function falls
+back to :mod:`tracemalloc`'s traced peak if tracing is active, else 0 —
+callers treat 0 as "unknown", never as "no memory".
+
+``ru_maxrss`` is a process-lifetime high-water mark: it never decreases.
+Comparing the footprint of two code paths therefore requires running each in
+its own subprocess (see ``benchmarks/_stream_rss.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unknown)."""
+    if resource is not None:
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if rss > 0:
+            # Linux reports KiB, macOS reports bytes.
+            return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        return tracemalloc.get_traced_memory()[1]
+    return 0

@@ -111,8 +111,19 @@ class FlatEngine:
         a suffix of a longer trace — the restore path passes the snapshot's
         ``next_arrival_index`` here so subsequent snapshots stay aligned with
         the full trace.
+
+        ``arrivals`` may be a plain iterable (which must already *be* the
+        suffix at ``consumed``) or an arrival *source* exposing
+        ``iter_requests(start)`` — e.g. a
+        :class:`~repro.workloads.columns.ColumnarArrivals` — in which case
+        the engine asks the source for the suffix itself, so restore/fork
+        never materialize the earlier part of the trace.
         """
-        self._arrivals = iter(arrivals)
+        source = getattr(arrivals, "iter_requests", None)
+        if source is not None:
+            self._arrivals = source(consumed)
+        else:
+            self._arrivals = iter(arrivals)
         self._consumed = consumed
         self._pending = next(self._arrivals, None)
         if self._pending is not None:
@@ -216,7 +227,8 @@ class FlatEngine:
 
         ``arrivals`` must be the original stream's suffix starting at
         ``snap.next_arrival_index`` — the engine cannot rewind an iterator it
-        does not own.  The departure heap entries come back verbatim
+        does not own — or an arrival source with ``iter_requests(start)``,
+        which the engine re-seeks itself.  The departure heap entries come back verbatim
         (payloads included), so continuation is bit-identical as long as the
         caller also rewinds whatever state those payloads reference.
         """

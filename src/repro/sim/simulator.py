@@ -50,7 +50,15 @@ from ..network import NetworkFabric
 from ..schedulers import Placement, Scheduler, create_scheduler
 from ..topology import Cluster, build_cluster
 from ..types import RESOURCE_ORDER
-from ..workloads import ResolvedRequest, VMRequest, resolve_all, resolve_iter
+from ..workloads import (
+    DEFAULT_CHUNK_SIZE,
+    ColumnarArrivals,
+    ResolvedRequest,
+    TraceColumns,
+    VMRequest,
+    resolve_all,
+    resolve_iter,
+)
 from .engine import EngineSnapshot, FlatEngine
 from .environment import Environment
 from .event_log import EventLog
@@ -128,6 +136,7 @@ class DDCSimulator:
         engine: str | None = None,
         keep_records: bool = True,
         admission_threshold: float | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         self.spec = spec
         self.cluster = cluster if cluster is not None else build_cluster(spec)
@@ -158,9 +167,15 @@ class DDCSimulator:
         #: schedule-or-drop behavior.  Mutable mid-run: the scenario
         #: engine's admission branches flip it at the fork point.
         self.admission_threshold = admission_threshold
+        #: Arrival-resolution batch size for columnar traces (how many VMs
+        #: are resolved into request objects at a time).
+        self.chunk_size = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
         # Stateful (forkable) run machinery; populated by start_run().
+        # Exactly one of _trace (object traces) / _source (columnar traces)
+        # is set during a stateful run.
         self._flat: FlatEngine | None = None
         self._trace: tuple[ResolvedRequest, ...] | None = None
+        self._source: ColumnarArrivals | None = None
 
     # ------------------------------------------------------------------ #
     # What-if checkpointing (oversubscription rollback)
@@ -235,8 +250,8 @@ class DDCSimulator:
     # ------------------------------------------------------------------ #
 
     def _arrival_ordered(
-        self, vms: Iterable[VMRequest], stream: bool
-    ) -> Iterator[ResolvedRequest]:
+        self, vms: Iterable[VMRequest] | TraceColumns, stream: bool
+    ) -> Iterator[ResolvedRequest] | ColumnarArrivals:
         """Lazily resolve the trace in arrival order.
 
         Already-sorted inputs stream without copies; unsorted ones get one
@@ -245,7 +260,16 @@ class DDCSimulator:
         iterable is consumed lazily as-is — the caller guarantees arrival
         order (the flat engine raises otherwise) and resolution errors
         surface at the offending arrival instead of up-front.
+
+        A :class:`TraceColumns` trace never becomes a request list: it is
+        (stably) sorted as arrays if needed and wrapped in a
+        :class:`ColumnarArrivals` source that resolves one
+        :attr:`chunk_size` slice at a time.
         """
+        if isinstance(vms, TraceColumns):
+            if not vms.is_sorted():
+                vms = vms.sorted_by_arrival()
+            return ColumnarArrivals(vms, self.spec, self.chunk_size)
         if not isinstance(vms, (list, tuple)):
             if stream:
                 return resolve_iter(vms, self.spec)
@@ -255,7 +279,7 @@ class DDCSimulator:
         return resolve_iter(vms, self.spec)
 
     def _run_flat(
-        self, vms: Iterable[VMRequest], until: float | None, stream: bool
+        self, vms: Iterable[VMRequest] | TraceColumns, until: float | None, stream: bool
     ) -> float:
         engine = FlatEngine()
         return engine.run(
@@ -274,7 +298,11 @@ class DDCSimulator:
         yield env.timeout(request.vm.lifetime)
         self._handle_departure(placement, env.now)
 
-    def _run_generator(self, vms: Iterable[VMRequest], until: float | None) -> float:
+    def _run_generator(
+        self, vms: Iterable[VMRequest] | TraceColumns, until: float | None
+    ) -> float:
+        if isinstance(vms, TraceColumns):
+            vms = vms.to_vms()
         requests = resolve_all(list(vms), self.spec)
         env = Environment()
         for request in requests:
@@ -296,7 +324,7 @@ class DDCSimulator:
 
     def run(
         self,
-        vms: Iterable[VMRequest],
+        vms: Iterable[VMRequest] | TraceColumns,
         until: float | None = None,
         stream: bool = False,
     ) -> SimulationResult:
@@ -306,6 +334,9 @@ class DDCSimulator:
         are sorted first).  ``stream=True`` (flat engine only) instead
         consumes a lazily-produced, arrival-sorted iterable without ever
         materializing it — O(active VMs) memory for arbitrarily long traces.
+        A :class:`TraceColumns` trace always streams on the flat engine:
+        per-VM request objects exist only for the chunk currently being
+        dispatched.
         """
         if self.engine == "flat":
             end_time = self._run_flat(vms, until, stream)
@@ -329,10 +360,25 @@ class DDCSimulator:
 
     @property
     def trace(self) -> tuple[ResolvedRequest, ...]:
-        """The resolved, arrival-ordered trace of the stateful run."""
+        """The resolved, arrival-ordered trace of the stateful run.
+
+        Columnar stateful runs never materialize a request tuple; asking
+        for one raises (iterate :attr:`arrival_source` instead).
+        """
         self._require_run()
-        assert self._trace is not None
+        if self._trace is None:
+            raise SimulationError(
+                "this run streams a columnar trace; there is no materialized "
+                "request tuple (use arrival_source to iterate it)"
+            )
         return self._trace
+
+    @property
+    def arrival_source(self) -> ColumnarArrivals | None:
+        """The columnar arrival source of the stateful run (None when the
+        run was started from an object trace)."""
+        self._require_run()
+        return self._source
 
     def _require_run(self) -> FlatEngine:
         if self._flat is None:
@@ -341,22 +387,31 @@ class DDCSimulator:
             )
         return self._flat
 
-    def start_run(self, vms: Iterable[VMRequest]) -> None:
+    def start_run(self, vms: Iterable[VMRequest] | TraceColumns) -> None:
         """Begin a resumable run: resolve and bind the trace.
 
         Unlike :meth:`run`, no events are processed yet — drive the clock
-        with :meth:`advance` / :meth:`finish`.  Forkable runs materialize
-        the resolved trace (checkpoints store an *index* into it), so
-        streaming traces are not supported here.
+        with :meth:`advance` / :meth:`finish`.  Object traces materialize a
+        resolved request tuple (checkpoints store an *index* into it);
+        :class:`TraceColumns` traces instead bind a re-seekable
+        :class:`ColumnarArrivals` source, so even forkable million-VM runs
+        keep O(chunk) request objects resident.
         """
         if self.engine != "flat":
             raise SimulationError(
                 "forkable runs require the flat engine; "
                 f"this simulator uses {self.engine!r}"
             )
-        self._trace = tuple(self._arrival_ordered(vms, stream=False))
+        ordered = self._arrival_ordered(vms, stream=False)
         self._flat = FlatEngine()
-        self._flat.bind_arrivals(iter(self._trace))
+        if isinstance(ordered, ColumnarArrivals):
+            self._source = ordered
+            self._trace = None
+            self._flat.bind_arrivals(ordered)
+        else:
+            self._source = None
+            self._trace = tuple(ordered)
+            self._flat.bind_arrivals(iter(self._trace))
 
     def advance(self, until: float | None = None) -> float:
         """Drive the stateful run (to ``until``, or until the trace drains).
@@ -410,7 +465,6 @@ class DDCSimulator:
         tier capacity scaling, pod drains — is undone wholesale.
         """
         engine = self._require_run()
-        assert self._trace is not None
         self.fabric.restore_capacities(checkpoint.fabric_capacity)
         self.cluster.restore(checkpoint.cluster)
         if checkpoint.drained_racks:
@@ -423,8 +477,13 @@ class DDCSimulator:
         if self.event_log is not None:
             self.event_log.truncate(checkpoint.event_count)
         self.admission_threshold = checkpoint.admission_threshold
-        suffix = self._trace[checkpoint.engine.next_arrival_index:]
-        engine.restore(checkpoint.engine, iter(suffix))
+        if self._source is not None:
+            # The source re-seeks itself to the snapshot's arrival index.
+            engine.restore(checkpoint.engine, self._source)
+        else:
+            assert self._trace is not None
+            suffix = self._trace[checkpoint.engine.next_arrival_index:]
+            engine.restore(checkpoint.engine, iter(suffix))
 
     def fork(self) -> "DDCSimulator":
         """Clone the live stateful run into an independent simulator.
@@ -448,7 +507,6 @@ class DDCSimulator:
         by length instead of copying them.
         """
         engine = self._require_run()
-        assert self._trace is not None
         clone = DDCSimulator(
             self.spec,
             self.scheduler.name,
@@ -458,6 +516,7 @@ class DDCSimulator:
             engine="flat",
             keep_records=self.collector.keep_records,
             admission_threshold=self.admission_threshold,
+            chunk_size=self.chunk_size,
         )
         clone.fabric.restore_capacities(self.fabric.capacity_snapshot())
         clone.cluster.restore(self.cluster.snapshot())
@@ -477,11 +536,17 @@ class DDCSimulator:
             for when, seq, placement in snap.departures
         )
         clone._trace = self._trace
+        clone._source = self._source
         clone._flat = FlatEngine()
-        clone._flat.restore(
-            replace(snap, departures=rebound),
-            iter(self._trace[snap.next_arrival_index:]),
-        )
+        if self._source is not None:
+            # The columnar source is immutable and re-seekable — shared.
+            clone._flat.restore(replace(snap, departures=rebound), self._source)
+        else:
+            assert self._trace is not None
+            clone._flat.restore(
+                replace(snap, departures=rebound),
+                iter(self._trace[snap.next_arrival_index:]),
+            )
         return clone
 
     @staticmethod
@@ -502,7 +567,7 @@ class DDCSimulator:
 def simulate(
     spec: ClusterSpec,
     scheduler: str,
-    vms: Iterable[VMRequest],
+    vms: Iterable[VMRequest] | TraceColumns,
     engine: str | None = None,
     keep_records: bool = True,
 ) -> SimulationResult:

@@ -25,7 +25,10 @@ from pathlib import Path
 from types import MappingProxyType
 from typing import Mapping
 
+import numpy as np
+
 from ..errors import WorkloadError
+from .columns import TraceColumns
 from .distributions import exact_composition, make_rng, poisson_arrival_times
 from .vm import VMRequest
 
@@ -75,17 +78,18 @@ def azure_subset_counts(subset: int) -> tuple[Mapping[int, int], Mapping[float, 
     return AZURE_CPU_COUNTS[subset], AZURE_RAM_COUNTS[subset]
 
 
-def synthesize_azure(
+def synthesize_azure_columns(
     subset: int,
     seed: int | None = 0,
     mean_interarrival: float = AZURE_MEAN_INTERARRIVAL,
     lifetime: float | None = None,
-) -> list[VMRequest]:
-    """Generate an Azure-like trace with Figure 6's exact marginals.
+) -> TraceColumns:
+    """Generate an Azure-like trace as columns — no VM objects.
 
-    CPU and RAM values are independently shuffled then paired — the paper
-    does not publish the joint distribution, and the schedulers depend only
-    weakly on the pairing (both slices are scheduled together regardless).
+    Same RNG draw order as the legacy list generator (CPU composition, RAM
+    composition, arrivals), so
+    ``synthesize_azure_columns(n, s)`` equals
+    ``TraceColumns.from_vms(synthesize_azure(n, s))`` bit for bit.
     """
     cpu_counts, ram_counts = azure_subset_counts(subset)
     rng = make_rng(seed)
@@ -98,17 +102,30 @@ def synthesize_azure(
         )
     arrivals = poisson_arrival_times(rng, subset, mean_interarrival)
     life = AZURE_LIFETIME[subset] if lifetime is None else lifetime
-    return [
-        VMRequest(
-            vm_id=i,
-            arrival=float(arrivals[i]),
-            lifetime=life,
-            cpu_cores=int(cpus[i]),
-            ram_gb=float(rams[i]),
-            storage_gb=AZURE_STORAGE_GB,
-        )
-        for i in range(subset)
-    ]
+    return TraceColumns(
+        vm_id=np.arange(subset, dtype=np.int64),
+        arrival=arrivals,
+        lifetime=np.full(subset, life, dtype=np.float64),
+        cpu_cores=np.asarray(cpus, dtype=np.int64),
+        ram_gb=np.asarray(rams, dtype=np.float64),
+        storage_gb=np.full(subset, AZURE_STORAGE_GB, dtype=np.float64),
+    )
+
+
+def synthesize_azure(
+    subset: int,
+    seed: int | None = 0,
+    mean_interarrival: float = AZURE_MEAN_INTERARRIVAL,
+    lifetime: float | None = None,
+) -> list[VMRequest]:
+    """Generate an Azure-like trace with Figure 6's exact marginals.
+
+    CPU and RAM values are independently shuffled then paired — the paper
+    does not publish the joint distribution, and the schedulers depend only
+    weakly on the pairing (both slices are scheduled together regardless).
+    (Object adapter over :func:`synthesize_azure_columns`.)
+    """
+    return synthesize_azure_columns(subset, seed, mean_interarrival, lifetime).to_vms()
 
 
 def cpu_histogram(vms: list[VMRequest]) -> dict[int, int]:

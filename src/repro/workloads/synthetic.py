@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import WorkloadError
+from .columns import TraceColumns
 from .distributions import make_rng, poisson_arrival_times, uniform_integers
 from .vm import VMRequest
 
@@ -50,27 +53,43 @@ class SyntheticWorkloadParams:
         return self.base_lifetime + self.lifetime_increment * step
 
 
+def generate_synthetic_columns(
+    params: SyntheticWorkloadParams | None = None, seed: int | None = 0
+) -> TraceColumns:
+    """Generate the paper's synthetic trace as columns — no VM objects.
+
+    Draws from the RNG in the same order as the legacy list generator ever
+    did (arrivals, then CPUs, then RAMs) and computes the lifetime ramp as
+    one array expression, so ``generate_synthetic_columns(p, s)`` equals
+    ``TraceColumns.from_vms(generate_synthetic(p, s))`` bit for bit.
+    """
+    params = params or SyntheticWorkloadParams()
+    rng = make_rng(seed)
+    count = params.count
+    arrivals = poisson_arrival_times(rng, count, params.mean_interarrival)
+    cpus = uniform_integers(rng, count, params.cpu_cores_min, params.cpu_cores_max)
+    rams = uniform_integers(rng, count, params.ram_gb_min, params.ram_gb_max)
+    steps = np.arange(count, dtype=np.int64) // params.vms_per_lifetime_step
+    lifetimes = params.base_lifetime + params.lifetime_increment * steps
+    return TraceColumns(
+        vm_id=np.arange(count, dtype=np.int64),
+        arrival=arrivals,
+        lifetime=lifetimes,
+        cpu_cores=cpus,
+        ram_gb=rams.astype(np.float64),
+        storage_gb=np.full(count, params.storage_gb, dtype=np.float64),
+        validate=False,
+    )
+
+
 def generate_synthetic(
     params: SyntheticWorkloadParams | None = None, seed: int | None = 0
 ) -> list[VMRequest]:
     """Generate the paper's synthetic random trace.
 
     Deterministic for a given ``seed``; all four schedulers must be run on
-    the *same* generated list for a faithful comparison.
+    the *same* generated list for a faithful comparison.  (This is the
+    object adapter over :func:`generate_synthetic_columns` — prefer the
+    columnar form for large traces.)
     """
-    params = params or SyntheticWorkloadParams()
-    rng = make_rng(seed)
-    arrivals = poisson_arrival_times(rng, params.count, params.mean_interarrival)
-    cpus = uniform_integers(rng, params.count, params.cpu_cores_min, params.cpu_cores_max)
-    rams = uniform_integers(rng, params.count, params.ram_gb_min, params.ram_gb_max)
-    return [
-        VMRequest(
-            vm_id=i,
-            arrival=float(arrivals[i]),
-            lifetime=params.lifetime_of(i),
-            cpu_cores=int(cpus[i]),
-            ram_gb=float(rams[i]),
-            storage_gb=params.storage_gb,
-        )
-        for i in range(params.count)
-    ]
+    return generate_synthetic_columns(params, seed).to_vms()

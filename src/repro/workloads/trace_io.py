@@ -1,19 +1,42 @@
-"""Trace persistence: JSONL read/write of VM request streams.
+"""Trace persistence: JSONL and compressed-columnar ``.npz`` formats.
 
-One JSON object per line keeps traces diff-able, streamable, and append-able;
-round-trips are exact for the integer/float fields used here.
+Two formats, one API:
+
+* **JSONL** (one JSON object per line) keeps traces diff-able, streamable,
+  and append-able — the legacy format, still the default for ``.jsonl``
+  paths;
+* **``.npz``** stores the six :class:`~repro.workloads.columns.TraceColumns`
+  arrays compressed, plus a JSON metadata record (format version and
+  whatever the caller attaches — the workload cache stores its content key
+  there).  A million-VM trace is a few tens of megabytes and loads in
+  milliseconds as arrays, never as a list of objects.
+
+:func:`save_trace` / :func:`load_trace` dispatch on the path suffix, so
+callers (and the CLI) can switch formats by naming the file ``*.npz``.
+Round-trips are exact for the integer/float fields used here in both
+formats.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Iterable
 
+import numpy as np
+
 from ..errors import WorkloadError
+from .columns import COLUMN_FIELDS, TraceColumns
 from .vm import VMRequest
 
 _FIELDS = ("vm_id", "arrival", "lifetime", "cpu_cores", "ram_gb", "storage_gb")
+
+#: Current columnar trace-file format version (bump on layout changes).
+TRACE_NPZ_VERSION = 1
+
+#: Name of the JSON metadata entry inside a trace ``.npz``.
+_META_KEY = "metadata_json"
 
 
 def vm_to_dict(vm: VMRequest) -> dict:
@@ -36,10 +59,19 @@ def vm_from_dict(data: dict) -> VMRequest:
     )
 
 
-def save_trace(vms: Iterable[VMRequest], path: str | Path) -> int:
-    """Write a trace as JSONL; returns the number of records written."""
+def _is_npz(path: Path) -> bool:
+    return path.suffix.lower() == ".npz"
+
+
+def save_trace(vms: Iterable[VMRequest] | TraceColumns, path: str | Path) -> int:
+    """Write a trace; the format follows the suffix (``.npz`` = columnar,
+    anything else = JSONL).  Returns the number of records written."""
     path = Path(path)
+    if _is_npz(path):
+        return save_trace_npz(vms, path)
     count = 0
+    if isinstance(vms, TraceColumns):
+        vms = vms.iter_vms()
     with path.open("w") as fh:
         for vm in vms:
             fh.write(json.dumps(vm_to_dict(vm)) + "\n")
@@ -48,8 +80,11 @@ def save_trace(vms: Iterable[VMRequest], path: str | Path) -> int:
 
 
 def load_trace(path: str | Path) -> list[VMRequest]:
-    """Read a JSONL trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace` as a request list
+    (suffix-dispatched like :func:`save_trace`)."""
     path = Path(path)
+    if _is_npz(path):
+        return load_trace_npz(path).to_vms()
     if not path.exists():
         raise WorkloadError(f"trace file not found: {path}")
     out: list[VMRequest] = []
@@ -64,3 +99,88 @@ def load_trace(path: str | Path) -> list[VMRequest]:
                 f"{path}:{line_number}: invalid JSON: {exc}"
             ) from exc
     return out
+
+
+# --------------------------------------------------------------------- #
+# Columnar .npz format
+# --------------------------------------------------------------------- #
+
+
+def save_trace_npz(
+    trace: Iterable[VMRequest] | TraceColumns,
+    path: str | Path,
+    metadata: dict | None = None,
+) -> int:
+    """Write a trace as a compressed columnar ``.npz``.
+
+    ``metadata`` (JSON-compatible scalars) is stored alongside the columns
+    and returned by :func:`load_trace_npz` — the workload cache keys its
+    entries through it.  Returns the number of records written.
+    """
+    path = Path(path)
+    columns = trace if isinstance(trace, TraceColumns) else TraceColumns.from_vms(trace)
+    record = {"format_version": TRACE_NPZ_VERSION, **(metadata or {})}
+    arrays = {name: getattr(columns, name) for name in COLUMN_FIELDS}
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(record, sort_keys=True).encode(), dtype=np.uint8
+    )
+    with path.open("wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    return len(columns)
+
+
+def read_trace_metadata(path: str | Path) -> dict:
+    """The metadata record of a columnar trace file (without the columns)."""
+    _, metadata = _load_npz(Path(path), want_columns=False)
+    return metadata
+
+
+def load_trace_npz(
+    path: str | Path, with_metadata: bool = False
+) -> TraceColumns | tuple[TraceColumns, dict]:
+    """Read a columnar trace written by :func:`save_trace_npz`.
+
+    Raises :class:`WorkloadError` on missing files, malformed archives,
+    missing columns, or an unknown format version — the workload cache
+    treats any of those as "regenerate, don't trust".
+    """
+    columns, metadata = _load_npz(Path(path), want_columns=True)
+    return (columns, metadata) if with_metadata else columns
+
+
+def _load_npz(path: Path, want_columns: bool) -> tuple[TraceColumns | None, dict]:
+    if not path.exists():
+        raise WorkloadError(f"trace file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            names = set(data.files)
+            missing = [name for name in COLUMN_FIELDS if name not in names]
+            if missing or _META_KEY not in names:
+                raise WorkloadError(
+                    f"{path}: not a columnar trace (missing "
+                    f"{missing or [_META_KEY]})"
+                )
+            metadata = json.loads(bytes(data[_META_KEY]).decode())
+            version = metadata.get("format_version")
+            if version != TRACE_NPZ_VERSION:
+                raise WorkloadError(
+                    f"{path}: unsupported trace format version {version!r} "
+                    f"(this build reads version {TRACE_NPZ_VERSION})"
+                )
+            columns = None
+            if want_columns:
+                columns = TraceColumns(
+                    *(data[name] for name in COLUMN_FIELDS)
+                )
+            return columns, metadata
+    except WorkloadError:
+        raise
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as exc:
+        raise WorkloadError(f"{path}: corrupt columnar trace: {exc}") from exc

@@ -151,3 +151,60 @@ class TestEngineAndSweepFlags:
     def test_run_all_accepts_parallel_flag(self):
         args = build_parser().parse_args(["run-all", "--quick", "--parallel", "4"])
         assert args.parallel == 4
+
+
+class TestTraceCommands:
+    def test_synthesize_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.npz"
+        code = main(["trace", "synthesize", str(out_file),
+                     "--workload", "synthetic", "--count", "60"])
+        assert code == 0
+        assert "wrote 60 VM requests" in capsys.readouterr().out
+        assert out_file.exists()
+
+    def test_synthesize_requires_known_workload(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["trace", "synthesize", str(tmp_path / "t.npz"),
+                  "--workload", "gcp-9000"])
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        npz, jsonl = tmp_path / "t.npz", tmp_path / "t.jsonl"
+        main(["trace", "synthesize", str(npz),
+              "--workload", "synthetic", "--count", "25"])
+        assert main(["trace", "convert", str(npz), str(jsonl)]) == 0
+        assert "converted 25 VM requests" in capsys.readouterr().out
+        back = tmp_path / "back.npz"
+        assert main(["trace", "convert", str(jsonl), str(back)]) == 0
+        from repro.workloads import load_trace_npz
+
+        assert load_trace_npz(back) == load_trace_npz(npz)
+
+    def test_inspect_reports_stats_and_metadata(self, tmp_path, capsys):
+        npz = tmp_path / "t.npz"
+        main(["trace", "synthesize", str(npz),
+              "--workload", "synthetic", "--count", "30", "--seed", "2"])
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(npz)]) == 0
+        out = capsys.readouterr().out
+        assert "30 VM requests" in out
+        assert "arrival span" in out and "sorted: True" in out
+        assert "meta workload" in out and "meta seed" in out
+
+    def test_inspect_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["trace", "inspect", str(tmp_path / "nope.npz")])
+
+    def test_cache_list_and_clear(self, tmp_path, capsys):
+        main(["trace", "synthesize", str(tmp_path / "t.npz"),
+              "--workload", "synthetic", "--count", "20"])
+        capsys.readouterr()
+        assert main(["trace", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries in" in out and "synthetic-n20-s0-" in out
+        assert main(["trace", "cache", "--clear"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_cache_disabled_message(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "off")
+        assert main(["trace", "cache"]) == 0
+        assert "workload store disabled" in capsys.readouterr().out

@@ -5,9 +5,24 @@ from __future__ import annotations
 import pytest
 
 from repro.config import paper_default, tiny_test, toy_example
+from repro.experiments import workload_cache
 from repro.network import NetworkFabric
 from repro.topology import build_cluster
 from repro.workloads import VMRequest, resolve
+
+
+@pytest.fixture(autouse=True)
+def _isolated_workload_cache(tmp_path, monkeypatch):
+    """Point the on-disk workload store at a per-test directory.
+
+    Keeps tests from reading or writing the user's ``~/.cache/repro`` store
+    (and from seeing each other's entries through it).  The in-RAM layer is
+    cleared on both sides of the test for the same reason.
+    """
+    monkeypatch.setenv(workload_cache.CACHE_ENV_VAR, str(tmp_path / "workload-cache"))
+    workload_cache.clear_memory_cache()
+    yield
+    workload_cache.clear_memory_cache()
 
 
 @pytest.fixture

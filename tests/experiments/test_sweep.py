@@ -104,3 +104,28 @@ class TestParallelRunAll:
             assert a.shape_ok and b.shape_ok
             assert a.rows == b.rows
         assert (tmp_path / "summary.json").exists()
+
+
+class TestStreamingSweep:
+    def test_outcomes_record_peak_rss(self):
+        session = SimulationSession(tiny_test(), parallel=1)
+        result = session.sweep(schedulers=("risa",), seeds=(0,), count=20)
+        assert result.outcomes[0].peak_rss_bytes > 0
+
+    def test_chunk_size_flows_to_points(self):
+        session = SimulationSession(tiny_test(), parallel=1, chunk_size=512)
+        result = session.sweep(schedulers=("risa",), seeds=(0,), count=20)
+        assert result.outcomes[0].point.chunk_size == 512
+
+    def test_chunked_matches_default(self):
+        """Sharded execution (tiny chunks) is bit-identical to the default."""
+        schedulers, seeds = ("risa", "nulb"), (0, 1)
+        default = SimulationSession(tiny_test(), parallel=1).sweep(
+            schedulers=schedulers, seeds=seeds, count=40
+        )
+        chunked = SimulationSession(tiny_test(), parallel=2, chunk_size=7).sweep(
+            schedulers=schedulers, seeds=seeds, count=40
+        )
+        for a, b in zip(default.outcomes, chunked.outcomes):
+            assert _masked(a.summary) == _masked(b.summary)
+            assert a.end_time == b.end_time

@@ -1,0 +1,175 @@
+"""Tests for the content-addressed on-disk workload store."""
+
+import os
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments import workload_cache
+from repro.experiments.workload_cache import (
+    CACHE_ENV_VAR,
+    azure_workload,
+    cache_dir,
+    cache_entries,
+    cache_key,
+    cache_path,
+    cached_columns,
+    clear_cache,
+    clear_memory_cache,
+    generate_columns,
+    parse_workload_name,
+    synthetic_workload,
+)
+from repro.workloads import (
+    TraceColumns,
+    read_trace_metadata,
+    save_trace_npz,
+    synthesize_azure,
+)
+
+
+# The autouse ``_isolated_workload_cache`` fixture (tests/conftest.py) points
+# CACHE_ENV_VAR at a per-test tmp directory and clears the RAM caches, so
+# every test here starts from an empty store.
+
+
+# --------------------------------------------------------------------- #
+# Name parsing
+# --------------------------------------------------------------------- #
+
+
+def test_parse_workload_name():
+    assert parse_workload_name("synthetic") == ("synthetic", None)
+    assert parse_workload_name("azure-3000") == ("azure", 3000)
+    with pytest.raises(WorkloadError, match="bad azure workload"):
+        parse_workload_name("azure-large")
+    with pytest.raises(WorkloadError, match="unknown workload"):
+        parse_workload_name("google-2019")
+
+
+# --------------------------------------------------------------------- #
+# Store mechanics
+# --------------------------------------------------------------------- #
+
+
+def test_disk_entry_written_and_reloaded():
+    columns = cached_columns("synthetic", count=120, seed=3)
+    entries = cache_entries()
+    assert len(entries) == 1
+    meta = read_trace_metadata(entries[0])
+    assert meta["workload"] == "synthetic"
+    assert meta["count"] == 120
+    assert meta["seed"] == 3
+    assert meta["key"] == cache_key("synthetic", 120, 3)
+    # A fresh process state (cleared RAM cache) must hit the disk entry and
+    # reproduce the trace bit for bit.
+    clear_memory_cache()
+    assert cached_columns("synthetic", count=120, seed=3) == columns
+    assert len(cache_entries()) == 1
+
+
+def test_corrupted_entry_regenerated():
+    reference = cached_columns("synthetic", count=60, seed=0)
+    path = cache_entries()[0]
+    path.write_bytes(b"garbage, not an npz archive")
+    clear_memory_cache()
+    regenerated = cached_columns("synthetic", count=60, seed=0)
+    assert regenerated == reference
+    # The garbage file was replaced by a fresh, loadable entry.
+    assert read_trace_metadata(path)["key"] == cache_key("synthetic", 60, 0)
+
+
+def test_foreign_entry_not_trusted():
+    """A valid .npz whose key doesn't match is regenerated, not loaded."""
+    wrong = generate_columns("synthetic", 40, seed=9)
+    path = cache_path("synthetic", 40, seed=0)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_trace_npz(wrong, path, metadata={"key": "not-the-right-key"})
+    assert cached_columns("synthetic", count=40, seed=0) == generate_columns(
+        "synthetic", 40, seed=0
+    )
+
+
+def test_version_mismatch_regenerated(monkeypatch):
+    cached_columns("synthetic", count=30, seed=0)
+    path = cache_entries()[0]
+    mtime_before = path.stat().st_mtime_ns
+    clear_memory_cache()
+    monkeypatch.setattr(workload_cache, "WORKLOAD_GENERATOR_VERSION", 2)
+    columns = cached_columns("synthetic", count=30, seed=0)
+    assert columns == generate_columns("synthetic", 30, seed=0)
+    # The stale v1 entry is left alone; a v2 entry lands beside it.
+    assert len(cache_entries()) == 2
+
+
+def test_disabled_store_generates_without_files(monkeypatch):
+    for value in ("0", "off", "none", "disabled", ""):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        clear_memory_cache()
+        assert cache_dir() is None
+        assert cache_path("synthetic", 10, 0) is None
+        assert cache_entries() == ()
+        columns = cached_columns("synthetic", count=10, seed=0)
+        assert columns == generate_columns("synthetic", 10, seed=0)
+
+
+def test_unwritable_store_degrades_to_ram(monkeypatch, tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("a file where the store directory should go")
+    monkeypatch.setenv(CACHE_ENV_VAR, str(blocker / "store"))
+    clear_memory_cache()
+    columns = cached_columns("synthetic", count=10, seed=0)
+    assert columns == generate_columns("synthetic", 10, seed=0)
+
+
+def test_clear_cache():
+    cached_columns("synthetic", count=25, seed=0)
+    cached_columns("synthetic", count=25, seed=1)
+    assert len(cache_entries()) == 2
+    assert clear_cache() == 2
+    assert cache_entries() == ()
+
+
+# --------------------------------------------------------------------- #
+# Semantics of the cached traces
+# --------------------------------------------------------------------- #
+
+
+def test_azure_count_is_a_view_of_the_full_subset():
+    """Azure stores one full-subset entry; counts slice it — matching the
+    legacy ``vms[:count]`` semantics exactly."""
+    truncated = cached_columns("azure-3000", count=500, seed=0)
+    full = cached_columns("azure-3000", seed=0)
+    assert len(truncated) == 500
+    assert truncated == full.slice(0, 500)
+    assert len(cache_entries()) == 1  # one entry, not one per count
+    assert truncated.to_vms() == synthesize_azure(3000, seed=0)[:500]
+
+
+def test_synthetic_counts_are_distinct_entries():
+    """Synthetic RNG streams depend on count, so entries are per-count."""
+    small = cached_columns("synthetic", count=50, seed=0)
+    large = cached_columns("synthetic", count=80, seed=0)
+    assert len(cache_entries()) == 2
+    assert small != large.slice(0, 50)  # different RNG draw sizes
+
+
+def test_legacy_helpers_route_through_the_store():
+    vms = synthetic_workload(quick=True, seed=0)
+    assert isinstance(vms, list)
+    assert len(vms) == workload_cache.QUICK_SYNTHETIC_COUNT
+    assert len(cache_entries()) == 1
+    azure = azure_workload(3000, quick=True, seed=0)
+    assert len(azure) == 1000
+    assert len(cache_entries()) == 2
+    # Quick truncation matches the legacy slice rule.
+    assert azure == azure_workload(3000, quick=False, seed=0)[:1000]
+
+
+def test_cache_key_pins_all_inputs():
+    base = cache_key("synthetic", 100, 0)
+    assert cache_key("synthetic", 100, 1) != base
+    assert cache_key("synthetic", 101, 0) != base
+    assert cache_key("azure-3000", 100, 0) != base
+    assert cache_path("synthetic", 100, 0).name.startswith("synthetic-n100-s0-")
+    assert cache_path("azure-3000", None, 2).name.startswith("azure-3000-s2-")

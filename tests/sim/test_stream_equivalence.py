@@ -1,0 +1,123 @@
+"""Streamed-columnar arrivals vs the legacy object list: bit-identical runs.
+
+The columnar arrival source (``ColumnarArrivals`` bound through the flat
+engine's arrival-source protocol) must replay the legacy list-of-objects
+event stream exactly — one-shot, chunk-size-invariant, and through every
+stateful entry point (checkpoint, restore, fork).
+"""
+
+import pytest
+
+from repro.config import paper_default
+from repro.errors import SimulationError
+from repro.schedulers import PAPER_SCHEDULERS
+from repro.sim import DDCSimulator, EventLog
+from repro.workloads import (
+    SyntheticWorkloadParams,
+    generate_synthetic_columns,
+)
+
+
+def columns(count=150, seed=0):
+    return generate_synthetic_columns(
+        SyntheticWorkloadParams(count=count), seed=seed
+    )
+
+
+def masked(summary):
+    d = summary.as_dict()
+    d.pop("scheduler_time_s")  # wall clock: legitimately nondeterministic
+    return d
+
+
+def reference_run(spec, scheduler, trace):
+    log = EventLog()
+    result = DDCSimulator(spec, scheduler, event_log=log).run(trace.to_vms())
+    return log.digest(), masked(result.summary)
+
+
+class TestStreamedOneShot:
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_digest_matches_legacy(self, scheduler, seed):
+        spec = paper_default()
+        trace = columns(seed=seed)
+        ref_digest, ref_summary = reference_run(spec, scheduler, trace)
+        log = EventLog()
+        result = DDCSimulator(
+            spec, scheduler, event_log=log, chunk_size=48
+        ).run(trace)
+        assert log.digest() == ref_digest
+        assert masked(result.summary) == ref_summary
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 150, 10_000])
+    def test_chunk_size_invariant(self, chunk_size):
+        spec = paper_default()
+        trace = columns()
+        ref_digest, _ = reference_run(spec, "risa", trace)
+        log = EventLog()
+        DDCSimulator(
+            spec, "risa", event_log=log, chunk_size=chunk_size
+        ).run(trace)
+        assert log.digest() == ref_digest
+
+    def test_unsorted_columns_are_ordered_like_the_list_path(self):
+        trace = columns()
+        reversed_cols = type(trace)(
+            *(getattr(trace, name)[::-1].copy() for name in trace.__slots__),
+            validate=False,
+        )
+        assert not reversed_cols.is_sorted()
+        spec = paper_default()
+        ref_digest, _ = reference_run(spec, "risa", trace)
+        log = EventLog()
+        DDCSimulator(spec, "risa", event_log=log).run(reversed_cols)
+        assert log.digest() == ref_digest
+
+    def test_trace_property_raises_on_streamed_runs(self):
+        sim = DDCSimulator(paper_default(), "risa")
+        sim.start_run(columns(count=40))
+        assert sim.arrival_source is not None
+        with pytest.raises(SimulationError, match="streams a columnar trace"):
+            sim.trace
+        sim.finish()
+
+    def test_list_runs_keep_the_trace_tuple(self):
+        sim = DDCSimulator(paper_default(), "risa")
+        trace = columns(count=40)
+        sim.start_run(trace.to_vms())
+        assert sim.arrival_source is None
+        assert len(sim.trace) == 40
+        sim.finish()
+
+
+class TestStreamedStateful:
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    def test_checkpoint_restore_fork_bit_identical(self, scheduler):
+        """Advance partway on a streamed run, checkpoint, then finish three
+        ways — straight through, via restore_run, via fork — all matching
+        the legacy one-shot digest."""
+        spec = paper_default()
+        trace = columns(count=160, seed=4)
+        ref_digest, ref_summary = reference_run(spec, scheduler, trace)
+        halfway = float(trace.arrival[len(trace) // 2])
+
+        log = EventLog()
+        sim = DDCSimulator(spec, scheduler, event_log=log, chunk_size=37)
+        sim.start_run(trace)
+        sim.advance(until=halfway)
+        checkpoint = sim.full_checkpoint()
+        fork = sim.fork()
+
+        result = sim.finish()
+        assert log.digest() == ref_digest
+        assert masked(result.summary) == ref_summary
+
+        # Rewind the same simulator and replay the suffix.
+        sim.restore_run(checkpoint)
+        replay = sim.finish()
+        assert masked(replay.summary) == ref_summary
+
+        # The fork is an independent simulator continuing the same stream.
+        fork_result = fork.finish()
+        assert masked(fork_result.summary) == ref_summary

@@ -1,0 +1,180 @@
+"""Tests for the columnar trace representation and vectorized resolution."""
+
+import pytest
+
+from repro.config import BandwidthBasis, NetworkConfig, paper_default
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ColumnarArrivals,
+    TraceColumns,
+    SyntheticWorkloadParams,
+    generate_synthetic,
+    generate_synthetic_columns,
+    iter_resolved,
+    resolve_columns,
+    resolve_iter,
+    synthesize_azure,
+    synthesize_azure_columns,
+)
+from tests.conftest import make_vm
+
+
+# --------------------------------------------------------------------- #
+# Generator equivalence: columns == from_vms(legacy), bit for bit
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_synthetic_columns_match_legacy(seed):
+    params = SyntheticWorkloadParams(count=700)
+    columns = generate_synthetic_columns(params, seed=seed)
+    legacy = generate_synthetic(params, seed=seed)
+    assert columns == TraceColumns.from_vms(legacy)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_azure_columns_match_legacy(seed):
+    columns = synthesize_azure_columns(3000, seed=seed)
+    legacy = synthesize_azure(3000, seed=seed)
+    assert columns == TraceColumns.from_vms(legacy)
+
+
+def test_to_vms_from_vms_roundtrip():
+    columns = generate_synthetic_columns(SyntheticWorkloadParams(count=50), 0)
+    vms = columns.to_vms()
+    assert all(isinstance(vm.arrival, float) for vm in vms)
+    assert all(isinstance(vm.cpu_cores, int) for vm in vms)
+    assert TraceColumns.from_vms(vms) == columns
+    assert list(columns.iter_vms()) == vms
+    assert [columns[i] for i in range(len(columns))] == vms
+
+
+# --------------------------------------------------------------------- #
+# Container behaviour
+# --------------------------------------------------------------------- #
+
+
+def test_slice_and_chunks_are_views():
+    columns = generate_synthetic_columns(SyntheticWorkloadParams(count=100), 0)
+    view = columns.slice(10, 20)
+    assert len(view) == 10
+    assert view.arrival.base is not None  # zero-copy
+    assert view == columns[10:20]
+    chunks = list(columns.chunks(32))
+    assert [len(c) for c in chunks] == [32, 32, 32, 4]
+    assert TraceColumns.from_vms(
+        [vm for c in chunks for vm in c.iter_vms()]
+    ) == columns
+
+
+def test_non_contiguous_slice_rejected():
+    columns = generate_synthetic_columns(SyntheticWorkloadParams(count=10), 0)
+    with pytest.raises(WorkloadError):
+        columns[::2]
+    with pytest.raises(WorkloadError):
+        list(columns.chunks(0))
+
+
+def test_unequal_column_lengths_rejected():
+    with pytest.raises(WorkloadError):
+        TraceColumns(
+            vm_id=[0, 1], arrival=[0.0], lifetime=[1.0],
+            cpu_cores=[1], ram_gb=[1.0], storage_gb=[0.0],
+        )
+
+
+def test_sorted_by_arrival_is_stable():
+    # Equal arrivals must keep trace order — the list path's tie rule.
+    columns = TraceColumns(
+        vm_id=[0, 1, 2, 3],
+        arrival=[5.0, 1.0, 5.0, 1.0],
+        lifetime=[1.0] * 4,
+        cpu_cores=[1] * 4,
+        ram_gb=[1.0] * 4,
+        storage_gb=[0.0] * 4,
+    )
+    assert not columns.is_sorted()
+    ordered = columns.sorted_by_arrival()
+    assert ordered.is_sorted()
+    assert ordered.vm_id.tolist() == [1, 3, 0, 2]
+    legacy = sorted(columns.to_vms(), key=lambda vm: vm.arrival)
+    assert ordered == TraceColumns.from_vms(legacy)
+    # Already-sorted traces come back as the same object (no copy).
+    assert ordered.sorted_by_arrival() is ordered
+
+
+# --------------------------------------------------------------------- #
+# Validation parity with VMRequest.__post_init__
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("arrival", -1.0),
+        ("lifetime", 0.0),
+        ("cpu_cores", 0),
+        ("ram_gb", 0.0),
+        ("storage_gb", -1.0),
+    ],
+)
+def test_validate_matches_vmrequest_messages(field, value):
+    good = make_vm(vm_id=5)
+    kwargs = {name: [getattr(good, name)] for name in (
+        "vm_id", "arrival", "lifetime", "cpu_cores", "ram_gb", "storage_gb"
+    )}
+    kwargs[field] = [value]
+    with pytest.raises(WorkloadError) as columnar:
+        TraceColumns(**kwargs)
+    with pytest.raises(WorkloadError) as scalar:
+        make_vm(vm_id=5, **{field: value})
+    assert str(columnar.value) == str(scalar.value)
+
+
+# --------------------------------------------------------------------- #
+# Vectorized resolution parity
+# --------------------------------------------------------------------- #
+
+
+def test_resolve_columns_matches_resolve_iter(paper_spec):
+    columns = generate_synthetic_columns(SyntheticWorkloadParams(count=400), 0)
+    reference = list(resolve_iter(columns.to_vms(), paper_spec))
+    resolved = resolve_columns(columns, paper_spec)
+    assert list(resolved.iter_requests()) == reference
+    # Chunked streaming yields the same payloads regardless of chunk size.
+    for chunk_size in (1, 64, 1000):
+        assert list(iter_resolved(columns, paper_spec, chunk_size)) == reference
+
+
+def test_resolve_columns_all_bandwidth_bases():
+    columns = generate_synthetic_columns(SyntheticWorkloadParams(count=120), 0)
+    for basis in BandwidthBasis:
+        spec = paper_default().with_overrides(
+            network=NetworkConfig(bandwidth_basis=basis)
+        )
+        reference = list(resolve_iter(columns.to_vms(), spec))
+        assert list(resolve_columns(columns, spec).iter_requests()) == reference
+
+
+def test_columnar_arrivals_start_offset(paper_spec):
+    columns = generate_synthetic_columns(SyntheticWorkloadParams(count=200), 0)
+    source = ColumnarArrivals(columns, paper_spec, chunk_size=33)
+    full = list(source.iter_requests())
+    assert len(source) == 200
+    assert list(iter(source)) == full
+    for start in (0, 1, 32, 33, 77, 199, 200):
+        assert list(source.iter_requests(start)) == full[start:]
+
+
+def test_resolve_columns_oversize_message(paper_spec):
+    columns = TraceColumns(
+        vm_id=[9], arrival=[0.0], lifetime=[10.0],
+        cpu_cores=[10_000], ram_gb=[1.0], storage_gb=[0.0],
+    )
+    with pytest.raises(WorkloadError) as columnar:
+        resolve_columns(columns, paper_spec)
+    from repro.workloads import resolve
+
+    with pytest.raises(WorkloadError) as scalar:
+        resolve(columns[0], paper_spec)
+    assert str(columnar.value) == str(scalar.value)

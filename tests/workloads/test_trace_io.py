@@ -55,3 +55,91 @@ def test_blank_lines_skipped(tmp_path):
     save_trace([vm], path)
     path.write_text(path.read_text() + "\n\n")
     assert load_trace(path) == [vm]
+
+# --------------------------------------------------------------------- #
+# Columnar .npz format
+# --------------------------------------------------------------------- #
+
+
+def test_npz_roundtrip_matches_jsonl(tmp_path):
+    """Both formats reproduce the trace VM for VM."""
+    from repro.workloads import generate_synthetic_columns, load_trace_npz
+
+    columns = generate_synthetic_columns(seed=0).slice(0, 200)
+    jsonl, npz = tmp_path / "trace.jsonl", tmp_path / "trace.npz"
+    assert save_trace(columns, jsonl) == 200
+    assert save_trace(columns, npz) == 200
+    assert load_trace(npz) == load_trace(jsonl) == columns.to_vms()
+    assert load_trace_npz(npz) == columns
+
+
+def test_npz_accepts_vm_lists(tmp_path):
+    """save_trace dispatches on suffix, not input type."""
+    from repro.workloads import load_trace_npz
+
+    vms = [make_vm(vm_id=i, arrival=float(i)) for i in range(5)]
+    path = tmp_path / "trace.npz"
+    assert save_trace(vms, path) == 5
+    assert load_trace_npz(path).to_vms() == vms
+
+
+def test_npz_metadata_roundtrip(tmp_path):
+    from repro.workloads import (
+        load_trace_npz,
+        read_trace_metadata,
+        save_trace_npz,
+        generate_synthetic_columns,
+    )
+
+    columns = generate_synthetic_columns(seed=1).slice(0, 10)
+    path = tmp_path / "trace.npz"
+    meta = {"workload": "synthetic", "seed": 1, "key": "abc"}
+    save_trace_npz(columns, path, metadata=meta)
+    expected = {"format_version": 1, **meta}
+    assert read_trace_metadata(path) == expected
+    loaded, loaded_meta = load_trace_npz(path, with_metadata=True)
+    assert loaded == columns
+    assert loaded_meta == expected
+
+
+def test_npz_corrupt_file_rejected(tmp_path):
+    path = tmp_path / "trace.npz"
+    path.write_bytes(b"this is not a zip archive")
+    with pytest.raises(WorkloadError, match="corrupt columnar trace"):
+        load_trace(path)
+
+
+def test_npz_missing_column_rejected(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "trace.npz"
+    np.savez_compressed(path, vm_id=np.arange(3))
+    with pytest.raises(WorkloadError, match="not a columnar trace"):
+        load_trace(path)
+
+
+def test_npz_version_mismatch_rejected(tmp_path):
+    import json
+
+    import numpy as np
+
+    from repro.workloads import generate_synthetic_columns, save_trace_npz
+
+    columns = generate_synthetic_columns(seed=0).slice(0, 5)
+    path = tmp_path / "trace.npz"
+    save_trace_npz(columns, path)
+    with np.load(path, allow_pickle=False) as payload:
+        arrays = {name: payload[name] for name in payload.files}
+    record = json.loads(bytes(arrays["metadata_json"]).decode())
+    record["format_version"] = 999
+    arrays["metadata_json"] = np.frombuffer(
+        json.dumps(record, sort_keys=True).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(WorkloadError, match="unsupported trace format version"):
+        load_trace(path)
+
+
+def test_npz_missing_file_rejected(tmp_path):
+    with pytest.raises(WorkloadError):
+        load_trace(tmp_path / "nope.npz")
