@@ -17,9 +17,12 @@ Subcommands
                    intervals.
 ``topology``     — print the fabric tier tree (bundle counts, capacity,
                    oversubscription) of a named preset.
+``topology-study`` — fan one workload over every scheduler × fabric preset
+                   (two-tier, pod/spine, VL2, fat-tree) and print the
+                   cross-topology comparison table and figure.
 ``scenarios``    — what-if branches (admission thresholds, tier
-                   oversubscription, pod failure) forked off a shared warm
-                   prefix instead of cold reruns.
+                   oversubscription, pod failure, link faults) forked off a
+                   shared warm prefix instead of cold reruns.
 ``trace``        — the workload pipeline: synthesize named traces into
                    files (columnar ``.npz`` or JSONL by suffix), convert
                    between the formats, inspect a trace file, and list or
@@ -44,14 +47,17 @@ from ..types import ResourceVector
 from ..errors import SimulationError, TopologyError, WorkloadError
 from ..experiments import (
     EXPERIMENTS,
+    TOPOLOGY_STUDY_PRESETS,
     ScenarioTree,
     SimulationSession,
     admission_branches,
+    link_failure_branches,
     oversubscription_branches,
     pod_failure_branches,
     render_report,
     run_all,
     run_experiment,
+    run_topology_study,
 )
 from ..experiments import workload_cache
 from ..experiments.sweep import build_workload
@@ -224,6 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "topology-study",
+        help="fan one workload over every scheduler × fabric preset",
+    )
+    p.add_argument("--schedulers", nargs="+", default=list(PAPER_SCHEDULERS),
+                   choices=sorted(ALL_SCHEDULERS), metavar="NAME",
+                   help="schedulers to compare (default: the paper's four)")
+    p.add_argument("--presets", nargs="+", default=list(TOPOLOGY_STUDY_PRESETS),
+                   choices=sorted(PRESETS), metavar="PRESET",
+                   help="fabric presets to compare (default: "
+                        f"{' '.join(TOPOLOGY_STUDY_PRESETS)})")
+    p.add_argument("--seeds", type=int, default=1, help="number of seeds")
+    p.add_argument("--workload", default="synthetic",
+                   help="synthetic | azure-3000 | azure-5000 | azure-7500")
+    p.add_argument("--count", type=int, default=0, help="truncate to N VMs")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="fan cells across N worker processes")
+    p.add_argument("--figure-metric", default="inter_rack_percent",
+                   metavar="METRIC",
+                   help="summary metric for the grouped-bar figure "
+                        "(default: inter_rack_percent)")
+
+    p = sub.add_parser(
         "sweep", help="multi-seed × multi-scheduler sweep, optionally parallel"
     )
     p.add_argument("--schedulers", nargs="+", default=list(PAPER_SCHEDULERS),
@@ -261,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "the top (spine) tier")
     p.add_argument("--fail-pod", type=int, nargs="+", default=[],
                    metavar="POD", help="one branch per failed (drained) pod")
+    p.add_argument("--fail-links", type=int, nargs="+", default=[],
+                   metavar="NODE", help="one branch per failed uplink bundle "
+                   "on the top tier (all links of that node go down)")
     p.add_argument("--parallel", type=int, default=1,
                    help="fan (scheduler, seed) trees across N workers")
 
@@ -491,6 +522,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_topology(spec))
         return 0
 
+    if args.command == "topology-study":
+        if args.seeds < 1:
+            raise SystemExit("--seeds must be at least 1")
+        try:
+            result = run_topology_study(
+                schedulers=tuple(args.schedulers),
+                presets=tuple(args.presets),
+                seeds=tuple(range(args.seeds)),
+                workload=args.workload,
+                count=args.count or None,
+                parallel=args.parallel,
+            )
+        except (SimulationError, WorkloadError) as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"{len(result.presets())} fabrics x {len(result.schedulers())} "
+            f"schedulers x {args.seeds} seed(s):"
+        )
+        print(
+            result.table(
+                [
+                    "scheduled_vms",
+                    "dropped_vms",
+                    "inter_rack_percent",
+                    "avg_inter_net_utilization",
+                    "avg_optical_power_kw",
+                ]
+            )
+        )
+        print()
+        try:
+            print(result.figure(args.figure_metric))
+        except KeyError:
+            raise SystemExit(
+                f"unknown figure metric {args.figure_metric!r}; see the "
+                "table columns for valid summary metrics"
+            ) from None
+        return 0
+
     if args.command == "sweep":
         session = SimulationSession(
             paper_default(),
@@ -531,11 +601,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 admission_branches(args.admission)
                 + oversubscription_branches(args.scale_tier)
                 + pod_failure_branches(args.fail_pod)
+                + link_failure_branches(args.fail_links)
             )
             if not branches:
                 raise SystemExit(
                     "no branches requested; give at least one of --admission, "
-                    "--scale-tier, --fail-pod"
+                    "--scale-tier, --fail-pod, --fail-links"
                 )
             tree = ScenarioTree(branches=tuple(branches), fork_fraction=args.fork_at)
             result = session.scenarios(

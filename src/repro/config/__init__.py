@@ -11,7 +11,8 @@ Public surface:
 - :class:`LatencyConfig` — CPU-RAM round-trip latencies (Section 5.2).
 - :class:`ClusterSpec` — bundle of all of the above.
 - Presets: :func:`paper_default`, :func:`toy_example`, :func:`scaled`,
-  :func:`tiny_test`, :func:`pod_scale` (and the ``PRESETS`` registry).
+  :func:`tiny_test`, :func:`pod_scale`, and the topology zoo
+  (:func:`vl2`, :func:`fat_tree`) — plus the ``PRESETS`` registry.
 - JSON round-trip helpers in :mod:`repro.config.serialization`.
 """
 
@@ -28,12 +29,14 @@ from .network import (
 )
 from .presets import (
     PRESETS,
+    fat_tree,
     paper_default,
     pod_scale,
     scaled,
     tiny_pod_test,
     tiny_test,
     toy_example,
+    vl2,
 )
 from .serialization import load_spec, save_spec, spec_from_dict, spec_to_dict
 
@@ -47,6 +50,7 @@ __all__ = [
     "NetworkConfig",
     "PRESETS",
     "TierSpec",
+    "fat_tree",
     "load_spec",
     "paper_default",
     "pod_scale",
@@ -58,4 +62,5 @@ __all__ = [
     "tiny_test",
     "toy_example",
     "validate_benes_radix",
+    "vl2",
 ]

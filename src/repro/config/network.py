@@ -228,6 +228,149 @@ class FabricTopology:
             link_bandwidth_gbps=link_bandwidth_gbps,
         )
 
+    @classmethod
+    def vl2(
+        cls,
+        D_A: int = 8,
+        D_I: int = 8,
+        server_link_gbps: float = 200.0,
+        switch_link_gbps: float = 400.0,
+        box_uplinks: int = 8,
+        box_switch_ports: int = 64,
+        tor_switch_ports: int = 256,
+    ) -> "FabricTopology":
+        """A VL2-style Clos fabric (Greenberg et al., SIGCOMM 2009).
+
+        ``D_A`` and ``D_I`` are the aggregation- and intermediate-switch port
+        counts; they determine the shape exactly as in the VL2 paper:
+        ``D_A * D_I / 4`` ToRs (our racks), ``D_I`` aggregation switches
+        (``D_A / 4`` ToRs each), and a ``D_A / 2``-wide intermediate stage.
+        The tree chain folds the intermediate switches into a single root
+        stage whose aggregate uplink width (``D_A / 2`` links per aggregation
+        switch) equals the Clos core's total port budget, so the fabric keeps
+        VL2's full-bisection aggregate capacity.  ``server_link_gbps`` sets
+        the box->ToR tier; the two switch tiers carry the (typically fatter)
+        ``switch_link_gbps`` — VL2's heterogeneous server/switch link speeds.
+
+        The DDC cluster built on this chain must have exactly
+        ``num_tor_switches(D_A, D_I)`` racks (the :func:`~repro.config.vl2`
+        preset wires both sides together).
+        """
+        for label, ports in (("D_A", D_A), ("D_I", D_I)):
+            validate_benes_radix(ports, f"vl2 {label}")
+            if ports < 4:
+                raise ConfigurationError(
+                    f"vl2 {label} must be >= 4 (got {ports}); the construction "
+                    "needs D_A/4 ToRs per aggregation switch and a D_A/2-wide "
+                    "intermediate stage"
+                )
+        return cls(
+            tiers=(
+                TierSpec(
+                    name="intra_rack",
+                    uplinks=box_uplinks,
+                    switch_ports=tor_switch_ports,
+                    link_bandwidth_gbps=server_link_gbps,
+                ),
+                TierSpec(
+                    name="aggregation",
+                    uplinks=2,  # every ToR dual-homes into the agg stage
+                    switch_ports=D_A,
+                    group_size=D_A // 4,
+                    link_bandwidth_gbps=switch_link_gbps,
+                ),
+                TierSpec(
+                    name="intermediate",
+                    uplinks=D_A // 2,
+                    switch_ports=D_I,
+                    group_size=None,
+                    link_bandwidth_gbps=switch_link_gbps,
+                ),
+            ),
+            box_switch_ports=box_switch_ports,
+            link_bandwidth_gbps=server_link_gbps,
+        )
+
+    @staticmethod
+    def vl2_num_racks(D_A: int, D_I: int) -> int:
+        """ToR (= rack) count of the VL2 construction: ``D_A * D_I / 4``."""
+        return D_A * D_I // 4
+
+    @classmethod
+    def fat_tree(
+        cls,
+        depth: int = 3,
+        fanout: int = 4,
+        box_uplinks: int = 8,
+        uplinks: int = 16,
+        link_bandwidth_gbps: float = 200.0,
+        layer_bandwidth_gbps: "tuple[float, ...] | None" = None,
+        box_switch_ports: int = 64,
+        edge_switch_ports: int = 256,
+        switch_ports: int = 512,
+    ) -> "FabricTopology":
+        """A ``depth``-layer fanout tree (the classic fat-tree/Portland shape).
+
+        Layer 0 is a single core switch; each switch at layer ``s`` has
+        ``fanout`` children, so the edge layer (``depth - 1``) holds
+        ``fanout ** (depth - 1)`` switches — our racks.  ``depth=3`` gives
+        the textbook core/aggregation/edge stack; ``depth=2`` degenerates to
+        the paper's two-tier chain shape.
+
+        ``layer_bandwidth_gbps`` is the per-layer link-option list, ordered
+        leaf tier first (box->edge, edge->agg, ..., ->core) with exactly
+        ``depth`` entries — heterogeneous per-tier bandwidth, e.g. links
+        fattening toward the core.  ``None`` keeps every tier at
+        ``link_bandwidth_gbps``.
+        """
+        if depth < 2:
+            raise ConfigurationError(
+                f"fat_tree depth must be >= 2 (box->edge plus at least one "
+                f"aggregation layer), got {depth}"
+            )
+        if fanout < 2:
+            raise ConfigurationError(f"fat_tree fanout must be >= 2, got {fanout}")
+        if layer_bandwidth_gbps is not None and len(layer_bandwidth_gbps) != depth:
+            raise ConfigurationError(
+                f"fat_tree layer_bandwidth_gbps needs one entry per tier "
+                f"({depth}), got {len(layer_bandwidth_gbps)}"
+            )
+
+        def layer_bw(level: int) -> float | None:
+            if layer_bandwidth_gbps is None:
+                return None
+            return layer_bandwidth_gbps[level]
+
+        tiers = [
+            TierSpec(
+                name="intra_rack",
+                uplinks=box_uplinks,
+                switch_ports=edge_switch_ports,
+                link_bandwidth_gbps=layer_bw(0),
+            )
+        ]
+        for level in range(1, depth):
+            is_core = level == depth - 1
+            tiers.append(
+                TierSpec(
+                    name="core" if is_core else f"agg{level}",
+                    uplinks=uplinks,
+                    switch_ports=switch_ports,
+                    group_size=fanout,
+                    link_bandwidth_gbps=layer_bw(level),
+                )
+            )
+        return cls(
+            tiers=tuple(tiers),
+            box_switch_ports=box_switch_ports,
+            link_bandwidth_gbps=link_bandwidth_gbps,
+        )
+
+    @staticmethod
+    def fat_tree_num_racks(depth: int, fanout: int) -> int:
+        """Edge-switch (= rack) count of the fanout tree: ``fanout**(depth-1)``."""
+        return fanout ** (depth - 1)
+
 
 @dataclass(frozen=True, slots=True)
 class NetworkConfig:

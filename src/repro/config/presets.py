@@ -4,8 +4,10 @@
 reproduces the 2-rack state of Table 3 (Section 4.3); ``scaled()`` produces
 larger/smaller clusters with the paper's per-rack shape for capacity studies;
 ``pod_scale()`` is a 3-tier pod/spine hierarchy beyond the paper's single
-inter-rack switch.  ``PRESETS`` maps CLI-friendly names to the zero-argument
-factories (the ``topology`` subcommand's menu).
+inter-rack switch; ``vl2()`` and ``fat_tree()`` are the topology-zoo presets
+(VL2 Clos and fanout-tree fabrics with heterogeneous per-tier bandwidth).
+``PRESETS`` maps CLI-friendly names to the zero-argument factories (the
+``topology`` subcommand's menu).
 """
 
 from __future__ import annotations
@@ -104,6 +106,63 @@ def pod_scale(num_pods: int = 4, racks_per_pod: int = 9) -> ClusterSpec:
     )
 
 
+def vl2(
+    D_A: int = 8,
+    D_I: int = 8,
+    server_link_gbps: float = 200.0,
+    switch_link_gbps: float = 400.0,
+) -> ClusterSpec:
+    """A VL2-style Clos cluster (Greenberg et al., SIGCOMM 2009).
+
+    The aggregation- and intermediate-switch port counts ``D_A`` / ``D_I``
+    set the whole shape: ``D_A * D_I / 4`` ToR switches (one per rack, the
+    paper's per-rack DDC shape under each), ``D_I`` aggregation switches
+    serving ``D_A / 4`` ToRs apiece, and a ``D_A / 2``-wide intermediate
+    stage folded into the tree root.  Box->ToR links run at
+    ``server_link_gbps``; both switch tiers carry the fatter
+    ``switch_link_gbps`` — VL2's heterogeneous server/switch link speeds.
+    The default 8x8 build is a 16-rack cluster with a full-bisection core.
+    """
+    topology = FabricTopology.vl2(
+        D_A=D_A,
+        D_I=D_I,
+        server_link_gbps=server_link_gbps,
+        switch_link_gbps=switch_link_gbps,
+    )
+    return ClusterSpec(
+        ddc=DDCConfig(num_racks=FabricTopology.vl2_num_racks(D_A, D_I)),
+        network=NetworkConfig(topology=topology),
+    )
+
+
+def fat_tree(
+    depth: int = 3,
+    fanout: int = 4,
+    layer_bandwidth_gbps: tuple[float, ...] | None = (200.0, 400.0, 800.0),
+) -> ClusterSpec:
+    """A ``depth``-layer fanout-tree cluster (core/aggregation/edge).
+
+    Each switch has ``fanout`` children, so the edge layer holds
+    ``fanout ** (depth - 1)`` racks (paper per-rack shape).  The default
+    per-layer link options fatten toward the core — 200 Gb/s box->edge,
+    400 Gb/s edge->agg, 800 Gb/s agg->core — the heterogeneous-bandwidth
+    knob the classic ``linkopts``-per-layer datacenter topologies expose;
+    pass ``layer_bandwidth_gbps=None`` for uniform 200 Gb/s links.
+    """
+    if layer_bandwidth_gbps is not None and len(layer_bandwidth_gbps) != depth:
+        # Re-cut the default ramp for non-default depths: double per layer.
+        layer_bandwidth_gbps = tuple(200.0 * 2**level for level in range(depth))
+    topology = FabricTopology.fat_tree(
+        depth=depth,
+        fanout=fanout,
+        layer_bandwidth_gbps=layer_bandwidth_gbps,
+    )
+    return ClusterSpec(
+        ddc=DDCConfig(num_racks=FabricTopology.fat_tree_num_racks(depth, fanout)),
+        network=NetworkConfig(topology=topology),
+    )
+
+
 def tiny_test() -> ClusterSpec:
     """A deliberately small cluster (2 racks, 1 box per type, 2 bricks) for
     fast unit tests and failure-injection scenarios."""
@@ -157,4 +216,6 @@ PRESETS: dict[str, Callable[[], ClusterSpec]] = {
     "tiny": tiny_test,
     "tiny-pod": tiny_pod_test,
     "pod-scale": pod_scale,
+    "vl2": vl2,
+    "fat-tree": fat_tree,
 }

@@ -18,7 +18,16 @@ point:
   (spine-oversubscription sweeps, via
   :meth:`~repro.network.fabric.NetworkFabric.scale_tier_capacity`);
 * :class:`PodFailure` — drain every rack of one pod through the
-  listener-backed occupancy APIs (existing VMs finish, nothing new lands).
+  listener-backed occupancy APIs (existing VMs finish, nothing new lands);
+* :class:`LinkFailure` / :class:`LinkRestore` / :class:`LinkFlap` — take
+  links of one bundle down (and back up) immediately or at scheduled clock
+  times, through :meth:`~repro.network.fabric.NetworkFabric.fail_links`;
+* :class:`BundleDegrade` — partial capacity loss on a single bundle.
+
+Timed perturbations ride the simulator's fault timeline
+(:meth:`~repro.sim.simulator.DDCSimulator.schedule_fault`), which is part of
+:class:`~repro.sim.simulator.RunCheckpoint` — so a forked continuation with a
+fault schedule matches a cold run of the same schedule bit for bit.
 
 :func:`run_scenario_tree` executes one (scheduler, workload) tree in-process;
 ``SimulationSession.scenarios`` fans (scheduler, seed) trees across workers —
@@ -27,7 +36,7 @@ each worker simulates its warm prefix once per tree, not once per branch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
 
 from ..analysis.ascii_plot import ascii_table
@@ -102,6 +111,102 @@ class PodFailure:
     def apply(self, sim: DDCSimulator) -> None:
         lo, hi = sim.cluster.pod_rack_range(self.pod_index)
         sim.cluster.drain_racks(range(lo, hi))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFailure:
+    """Take links of one bundle down (the first ``count``, or all).
+
+    ``tier``/``node`` address the bundle like :class:`TierCapacityScale`
+    addresses a tier: a level index (negative from the top) or a tier name,
+    plus the node id within it (tier 0 nodes are boxes).  With ``at=None``
+    the failure lands at the fork point; otherwise it is queued on the
+    simulator's fault timeline and fires at clock time ``at``.  In-flight
+    circuits keep flowing; the downed links just offer no new headroom
+    until a :class:`LinkRestore` brings them back.
+    """
+
+    tier: int | str = -1
+    node: int = 0
+    count: int | None = None
+    at: float | None = None
+
+    def apply(self, sim: DDCSimulator) -> None:
+        if self.at is None:
+            sim.fabric.fail_links(self.tier, self.node, self.count)
+        else:
+            sim.schedule_fault(self.at, replace(self, at=None))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRestore:
+    """Bring downed links of one bundle back at their pre-fault capacity."""
+
+    tier: int | str = -1
+    node: int = 0
+    count: int | None = None
+    at: float | None = None
+
+    def apply(self, sim: DDCSimulator) -> None:
+        if self.at is None:
+            sim.fabric.restore_links(self.tier, self.node, self.count)
+        else:
+            sim.schedule_fault(self.at, replace(self, at=None))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFlap:
+    """A transient outage: links go down at ``down_at`` and recover at
+    ``up_at``.  Both edges ride the fault timeline, so the flap replays
+    identically in cold runs, restored runs, and forks."""
+
+    down_at: float
+    up_at: float
+    tier: int | str = -1
+    node: int = 0
+    count: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.up_at <= self.down_at:
+            raise SimulationError(
+                f"flap must recover after it fails: down_at={self.down_at}, "
+                f"up_at={self.up_at}"
+            )
+
+    def apply(self, sim: DDCSimulator) -> None:
+        sim.schedule_fault(
+            self.down_at, LinkFailure(self.tier, self.node, self.count)
+        )
+        sim.schedule_fault(
+            self.up_at, LinkRestore(self.tier, self.node, self.count)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BundleDegrade:
+    """Partial capacity loss on one bundle: scale its links by ``factor``.
+
+    Unlike :class:`TierCapacityScale` this hits a single bundle — the
+    frayed-cable scenario.  ``at=None`` applies at the fork point; otherwise
+    the degrade fires at clock time ``at`` via the fault timeline.
+    """
+
+    factor: float
+    tier: int | str = -1
+    node: int = 0
+    at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise SimulationError(
+                f"bundle degrade factor must be positive, got {self.factor}"
+            )
+
+    def apply(self, sim: DDCSimulator) -> None:
+        if self.at is None:
+            sim.fabric.degrade_bundle(self.tier, self.node, self.factor)
+        else:
+            sim.schedule_fault(self.at, replace(self, at=None))
 
 
 @dataclass(frozen=True, slots=True)
@@ -301,3 +406,13 @@ def oversubscription_branches(
 def pod_failure_branches(pods: Sequence[int]) -> list[ScenarioBranch]:
     """One branch per failed pod, named ``pod<N>-down``."""
     return [ScenarioBranch(f"pod{p}-down", (PodFailure(p),)) for p in pods]
+
+
+def link_failure_branches(
+    nodes: Sequence[int], tier: int | str = -1, count: int | None = None
+) -> list[ScenarioBranch]:
+    """One branch per failed bundle, named ``links@<N>-down``."""
+    return [
+        ScenarioBranch(f"links@{n}-down", (LinkFailure(tier, n, count),))
+        for n in nodes
+    ]

@@ -26,7 +26,7 @@ from ..workloads.arrival_models import (
     with_arrivals,
 )
 from .base import ExperimentResult
-from .workload_cache import azure_workload, synthetic_workload
+from .workload_cache import azure_workload
 
 
 def _power_pair(spec, vms) -> tuple[float, float]:

@@ -30,7 +30,8 @@ from functools import lru_cache
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..analysis.ascii_plot import ascii_table
-from ..config import ClusterSpec, paper_default
+from ..config import PRESETS, ClusterSpec, paper_default
+from ..errors import SimulationError
 from ..memstats import peak_rss_bytes
 from ..metrics import RunSummary, aggregate_summaries
 from ..schedulers import PAPER_SCHEDULERS
@@ -59,6 +60,11 @@ class SweepPoint:
     #: Arrival-resolution batch size (None = the engine default).  The
     #: worker keeps at most one chunk of resolved request objects resident.
     chunk_size: int | None = None
+    #: Cluster preset name (a :data:`~repro.config.PRESETS` key).  When set
+    #: the point builds its own spec from the preset — the cross-topology
+    #: study's lever — instead of using the session-pinned spec.  Ships as a
+    #: short string, not a pickled ClusterSpec.
+    preset: str | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +134,18 @@ def _init_worker(spec: ClusterSpec) -> None:
     _WORKER_SPEC = spec
 
 
+@lru_cache(maxsize=16)
+def _preset_spec(preset: str) -> ClusterSpec:
+    """Resolve (and cache, per process) one named cluster preset."""
+    try:
+        factory = PRESETS[preset]
+    except KeyError:
+        raise SimulationError(
+            f"unknown cluster preset {preset!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return factory()
+
+
 @lru_cache(maxsize=32)
 def build_workload(workload: str, count: int | None, seed: int) -> tuple[VMRequest, ...]:
     """Build (and cache, per process) one named workload trace as objects.
@@ -148,7 +166,10 @@ def _run_point(point: SweepPoint) -> SweepOutcome:
     the on-disk store, bound to the engine as a chunked arrival source —
     per-VM request objects exist only for the chunk being dispatched.
     """
-    spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
+    if point.preset is not None:
+        spec = _preset_spec(point.preset)
+    else:
+        spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
     columns = cached_columns(point.workload, point.count, point.seed)
     simulator = DDCSimulator(
         spec,

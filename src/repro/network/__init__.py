@@ -2,13 +2,14 @@
 
 from .bundle import LinkBundle, LinkSelectionPolicy
 from .circuit import Circuit
-from .fabric import FabricPath, NetworkFabric
+from .fabric import LINK_DOWN_CAPACITY_GBPS, FabricPath, NetworkFabric
 from .link import BANDWIDTH_EPS, Link
 
 __all__ = [
     "BANDWIDTH_EPS",
     "Circuit",
     "FabricPath",
+    "LINK_DOWN_CAPACITY_GBPS",
     "Link",
     "LinkBundle",
     "LinkSelectionPolicy",

@@ -40,6 +40,13 @@ from .link import BANDWIDTH_EPS, Link
 #: adversarial access patterns (cleared wholesale when hit).
 _PATH_CACHE_MAX = 65536
 
+#: Residual capacity of a failed link.  Down links keep their identity (ids,
+#: bundle membership, committed reservations) but offer effectively zero
+#: headroom: any real demand fails ``can_fit`` while zero-demand circuits —
+#: which reserve nothing — still route.  A strictly positive value keeps the
+#: bundle capacity invariants (and the segment-tree keys) well-defined.
+LINK_DOWN_CAPACITY_GBPS = 1e-6
+
 
 @dataclass(frozen=True, slots=True)
 class FabricPath:
@@ -79,6 +86,7 @@ class NetworkFabric:
         "_state_arrays",
         "_version",
         "_path_cache",
+        "_down_capacity",
     )
 
     def __init__(
@@ -153,6 +161,7 @@ class NetworkFabric:
                 self._bundles[level][node] = bundle
                 self._tier_capacity[tier] += bundle.capacity_gbps
         self._version = 0
+        self._down_capacity: dict[int, float] = {}
         self._state_arrays = None  # accessors fall back to dicts during bind
         if arrays_enabled():
             self._state_arrays = FabricStateArrays(self)
@@ -538,6 +547,12 @@ class NetworkFabric:
         bundles = self._bundles[tier.level].values()
         for bundle in bundles:
             bundle.set_link_capacities([l.capacity_gbps * factor for l in bundle.links])
+            for link in bundle.links:
+                stashed = self._down_capacity.get(link.link_id)
+                if stashed is not None:
+                    # Keep the pre-fault capacity coherent with the scale so
+                    # a later restore_links lands on the scaled value.
+                    self._down_capacity[link.link_id] = stashed * factor
         self._tier_capacity[tier] = sum(b.capacity_gbps for b in bundles)
         if self._state_arrays is not None:
             self._state_arrays.refresh_tier_capacities(
@@ -579,6 +594,122 @@ class NetworkFabric:
             self._state_arrays.refresh_tier_capacities(
                 [self._tier_capacity[t] for t in self._tiers]
             )
+
+    # ------------------------------------------------------------------ #
+    # Link-level fault injection (failure-diversity scenarios)
+    # ------------------------------------------------------------------ #
+
+    def _fault_bundle(self, tier: TierId, node: int) -> LinkBundle:
+        try:
+            return self._bundles[tier.level][node]
+        except KeyError:
+            raise TopologyError(
+                f"no {tier.name} bundle for node {node}"
+            ) from None
+
+    def _apply_bundle_capacities(
+        self, tier: TierId, bundle: LinkBundle, capacities: list[float]
+    ) -> None:
+        """Rewrite one bundle's link capacities and re-derive every
+        aggregate that depends on them (tier totals, array mirrors)."""
+        self._version += 1
+        bundle.set_link_capacities(capacities)
+        self._tier_capacity[tier] = sum(
+            b.capacity_gbps for b in self._bundles[tier.level].values()
+        )
+        if self._state_arrays is not None:
+            self._state_arrays.refresh_tier_capacities(
+                [self._tier_capacity[t] for t in self._tiers]
+            )
+
+    def fail_links(self, tier: TierId | int | str, node: int, count: int | None = None) -> int:
+        """Take links of one bundle down (the first ``count``, or all).
+
+        A down link keeps committed reservations (circuits in flight keep
+        flowing and release normally) but its capacity drops to
+        :data:`LINK_DOWN_CAPACITY_GBPS`, so no new demand fits until
+        :meth:`restore_links` brings it back.  Pre-fault capacities are
+        stashed per link id; failing an already-down link is a no-op.
+        Returns the number of links newly taken down.
+        """
+        tier = self.resolve_tier(tier)
+        bundle = self._fault_bundle(tier, node)
+        selected = bundle.links if count is None else bundle.links[:count]
+        capacities = [link.capacity_gbps for link in bundle.links]
+        downed = 0
+        for index, link in enumerate(selected):
+            if link.link_id in self._down_capacity:
+                continue
+            self._down_capacity[link.link_id] = link.capacity_gbps
+            capacities[index] = LINK_DOWN_CAPACITY_GBPS
+            downed += 1
+        if downed:
+            self._apply_bundle_capacities(tier, bundle, capacities)
+        return downed
+
+    def restore_links(self, tier: TierId | int | str, node: int, count: int | None = None) -> int:
+        """Bring downed links of one bundle back at their stashed capacity.
+
+        The inverse of :meth:`fail_links`; restoring a link that is not
+        down is a no-op.  Returns the number of links brought back up.
+        """
+        tier = self.resolve_tier(tier)
+        bundle = self._fault_bundle(tier, node)
+        selected = bundle.links if count is None else bundle.links[:count]
+        capacities = [link.capacity_gbps for link in bundle.links]
+        restored = 0
+        for index, link in enumerate(selected):
+            stashed = self._down_capacity.pop(link.link_id, None)
+            if stashed is None:
+                continue
+            capacities[index] = stashed
+            restored += 1
+        if restored:
+            self._apply_bundle_capacities(tier, bundle, capacities)
+        return restored
+
+    def degrade_bundle(self, tier: TierId | int | str, node: int, factor: float) -> None:
+        """Scale one bundle's link capacities by ``factor`` (partial loss).
+
+        Unlike :meth:`scale_tier_capacity` this hits a single bundle — a
+        frayed cable tray rather than a tier-wide re-provision.  Down links
+        stay down; their stashed pre-fault capacity is scaled instead, so a
+        later :meth:`restore_links` lands on the degraded value.
+        """
+        if factor <= 0:
+            raise TopologyError(f"degrade factor must be positive, got {factor}")
+        tier = self.resolve_tier(tier)
+        bundle = self._fault_bundle(tier, node)
+        capacities = []
+        for link in bundle.links:
+            if link.link_id in self._down_capacity:
+                self._down_capacity[link.link_id] *= factor
+                capacities.append(link.capacity_gbps)
+            else:
+                capacities.append(link.capacity_gbps * factor)
+        self._apply_bundle_capacities(tier, bundle, capacities)
+
+    def down_link_ids(self) -> tuple[int, ...]:
+        """Ids of every currently-failed link, ascending."""
+        return tuple(sorted(self._down_capacity))
+
+    def fault_snapshot(self) -> tuple[tuple[int, float], ...]:
+        """Capture the down-link stash (link id -> pre-fault capacity).
+
+        Complements :meth:`capacity_snapshot`: the *effects* of faults live
+        in link capacities (and so in capacity snapshots already); this
+        captures the bookkeeping needed for :meth:`restore_links` to undo
+        them after a rewind.
+        """
+        return tuple(sorted(self._down_capacity.items()))
+
+    def restore_faults(self, snap: tuple[tuple[int, float], ...]) -> None:
+        """Restore the down-link stash captured by :meth:`fault_snapshot`.
+
+        Pair with :meth:`restore_capacities`, which rewinds the capacity
+        values themselves; order between the two does not matter.
+        """
+        self._down_capacity = dict(snap)
 
     # ------------------------------------------------------------------ #
     # Utilization (Figure 8 quantities, per tier)

@@ -38,6 +38,7 @@ what-if sweeps on these primitives.
 
 from __future__ import annotations
 
+import bisect
 import time as _time
 import os
 from dataclasses import dataclass, replace
@@ -45,7 +46,7 @@ from typing import Iterable, Iterator
 
 from ..config import ClusterSpec
 from ..errors import SimulationError
-from ..metrics import MetricsCollector, MetricsSnapshot, RunSummary, summarize
+from ..metrics import MetricsCollector, MetricsSnapshot, summarize
 from ..network import NetworkFabric
 from ..schedulers import Placement, Scheduler, create_scheduler
 from ..topology import Cluster, build_cluster
@@ -111,6 +112,11 @@ class RunCheckpoint:
     scheduler_state: object | None
     event_count: int
     admission_threshold: float | None
+    #: Down-link bookkeeping (link id -> pre-fault capacity) and the
+    #: not-yet-fired fault schedule.  Default to empty so checkpoints from
+    #: fault-free runs keep their pre-fault shape.
+    fabric_faults: tuple[tuple[int, float], ...] = ()
+    pending_faults: tuple = ()
 
 
 def default_engine() -> str:
@@ -176,6 +182,11 @@ class DDCSimulator:
         self._flat: FlatEngine | None = None
         self._trace: tuple[ResolvedRequest, ...] | None = None
         self._source: ColumnarArrivals | None = None
+        # Scheduled fault timeline: (when, seq, action) ascending.  The seq
+        # counter breaks same-time ties by insertion order, so a restored or
+        # forked run fires an identical fault sequence.
+        self._pending_faults: list[tuple[float, int, object]] = []
+        self._fault_seq = 0
 
     # ------------------------------------------------------------------ #
     # What-if checkpointing (oversubscription rollback)
@@ -338,6 +349,18 @@ class DDCSimulator:
         per-VM request objects exist only for the chunk currently being
         dispatched.
         """
+        if self._pending_faults:
+            if self.engine != "flat" or stream:
+                raise SimulationError(
+                    "a scheduled fault timeline requires the flat engine "
+                    "without stream=True (the run is driven statefully)"
+                )
+            # Route through the stateful machinery so the fault timeline
+            # fires — this is the "cold run with the same fault schedule"
+            # side of the fork-equivalence contract.
+            self.start_run(vms)
+            end_time = self.advance(until)
+            return self._result(end_time)
         if self.engine == "flat":
             end_time = self._run_flat(vms, until, stream)
         else:
@@ -413,24 +436,54 @@ class DDCSimulator:
             self._trace = tuple(ordered)
             self._flat.bind_arrivals(iter(self._trace))
 
+    def schedule_fault(self, when: float, action: object) -> None:
+        """Queue a perturbation to fire at clock time ``when``.
+
+        ``action`` is anything with an ``apply(sim)`` method — the scenario
+        engine's :class:`~repro.experiments.scenarios.Perturbation` protocol
+        (link failures, flap recoveries, bundle degrades, ...).  The next
+        :meth:`advance` / :meth:`finish` drives the engine to ``when``
+        first — processing every event at exactly ``when`` — then fires the
+        action, so the fault lands at the same point of the event stream in
+        a cold run, a restored run, and a fork.  Same-time faults fire in
+        scheduling order.  One-shot :meth:`run` honors the timeline too
+        (flat engine only).
+        """
+        bisect.insort(self._pending_faults, (when, self._fault_seq, action))
+        self._fault_seq += 1
+
+    @property
+    def pending_faults(self) -> tuple[tuple[float, object], ...]:
+        """The not-yet-fired fault timeline as ``(when, action)`` pairs."""
+        return tuple((when, action) for when, _seq, action in self._pending_faults)
+
     def advance(self, until: float | None = None) -> float:
         """Drive the stateful run (to ``until``, or until the trace drains).
 
         Returns the clock.  Events exactly at ``until`` are processed;
         later ones wait for the next call — so an ``advance(t)`` /
         checkpoint / ``advance()`` sequence replays the uninterrupted run
-        event for event.
+        event for event.  Scheduled faults due by ``until`` fire in order,
+        each after the events at its own fire time.
         """
         engine = self._require_run()
+        while self._pending_faults:
+            when, _seq, action = self._pending_faults[0]
+            if until is not None and when > until:
+                break
+            if when > engine.now:
+                engine.advance(self._handle_arrival, self._handle_departure, until=when)
+            self._pending_faults.pop(0)
+            action.apply(self)
         return engine.advance(
             self._handle_arrival, self._handle_departure, until=until
         )
 
     def finish(self) -> SimulationResult:
-        """Drain the remaining trace and summarize the run."""
-        engine = self._require_run()
-        end_time = engine.advance(self._handle_arrival, self._handle_departure)
-        return self._result(end_time)
+        """Drain the remaining trace (firing any scheduled faults) and
+        summarize the run."""
+        self._require_run()
+        return self._result(self.advance())
 
     def full_checkpoint(self) -> RunCheckpoint:
         """Capture the complete state of the stateful run (the fork point).
@@ -452,6 +505,8 @@ class DDCSimulator:
             scheduler_state=self.scheduler.snapshot_state(),
             event_count=len(self.event_log) if self.event_log is not None else 0,
             admission_threshold=self.admission_threshold,
+            fabric_faults=self.fabric.fault_snapshot(),
+            pending_faults=tuple(self._pending_faults),
         )
 
     def restore_run(self, checkpoint: RunCheckpoint) -> None:
@@ -466,6 +521,8 @@ class DDCSimulator:
         """
         engine = self._require_run()
         self.fabric.restore_capacities(checkpoint.fabric_capacity)
+        self.fabric.restore_faults(checkpoint.fabric_faults)
+        self._pending_faults = list(checkpoint.pending_faults)
         self.cluster.restore(checkpoint.cluster)
         if checkpoint.drained_racks:
             # The snapshot already holds the drained occupancy; this only
@@ -519,6 +576,9 @@ class DDCSimulator:
             chunk_size=self.chunk_size,
         )
         clone.fabric.restore_capacities(self.fabric.capacity_snapshot())
+        clone.fabric.restore_faults(self.fabric.fault_snapshot())
+        clone._pending_faults = list(self._pending_faults)
+        clone._fault_seq = self._fault_seq
         clone.cluster.restore(self.cluster.snapshot())
         if self.cluster.drained_racks:
             clone.cluster.drain_racks(sorted(self.cluster.drained_racks))

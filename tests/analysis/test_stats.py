@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.stats import (
-    MetricStats,
     bootstrap_ci,
     compare_over_seeds,
     stats_table,

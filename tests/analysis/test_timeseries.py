@@ -1,6 +1,5 @@
 """Tests for the vectorized utilization time series."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

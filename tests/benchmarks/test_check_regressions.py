@@ -1,0 +1,105 @@
+"""Tests for the benchmark regression gate (``benchmarks/check_regressions.py``).
+
+The module is importable because ``pyproject.toml`` puts ``benchmarks`` on
+the pytest pythonpath (the same mechanism the bench files use to reach
+their shared conftest helpers).
+"""
+
+import json
+
+import pytest
+
+import check_regressions as gate
+
+
+def write(path, data):
+    path.write_text(json.dumps(data))
+    return path
+
+
+def entry(min_s, quick=True):
+    return {"min_s": min_s, "mean_s": min_s * 1.1, "quick": quick}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        regressions, missing, new = gate.compare(
+            {"a": entry(0.29)}, {"a": entry(0.1)}, tolerance=3.0
+        )
+        assert regressions == [] and missing == [] and new == []
+
+    def test_slowdown_past_tolerance_flagged(self):
+        regressions, _, _ = gate.compare(
+            {"a": entry(0.31)}, {"a": entry(0.1)}, tolerance=3.0
+        )
+        assert len(regressions) == 1
+        assert "a" in regressions[0] and "tolerance 3" in regressions[0]
+
+    def test_missing_and_new_are_advisory(self):
+        regressions, missing, new = gate.compare(
+            {"b": entry(1.0)}, {"a": entry(0.1)}, tolerance=3.0
+        )
+        assert regressions == []
+        assert missing == ["a"] and new == ["b"]
+
+
+class TestGateEndToEnd:
+    def test_green_against_matching_baseline(self, tmp_path, capsys):
+        results = write(tmp_path / "results.json", {"a": entry(0.1), "b": entry(2.0)})
+        baseline = write(tmp_path / "baseline.json", {"a": entry(0.1), "b": entry(2.0)})
+        code = gate.main(["--results", str(results), "--baseline", str(baseline)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_corrupted_baseline_number_fails(self, tmp_path, capsys):
+        """The acceptance check: shrinking one baseline number past the
+        tolerance makes the gate fail."""
+        results = write(tmp_path / "results.json", {"a": entry(0.1), "b": entry(2.0)})
+        baseline = write(
+            tmp_path / "baseline.json", {"a": entry(0.1), "b": entry(2.0 / 100)}
+        )
+        code = gate.main(["--results", str(results), "--baseline", str(baseline)])
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_full_mode_entries_ignored(self, tmp_path, capsys):
+        """Only quick-mode keys participate — a full-mode blowup in the
+        results (or baseline) is the nightly run's business, not the gate's."""
+        results = write(
+            tmp_path / "results.json",
+            {"a": entry(0.1), "slow_full": entry(500.0, quick=False)},
+        )
+        baseline = write(
+            tmp_path / "baseline.json",
+            {"a": entry(0.1), "slow_full": entry(1.0, quick=False)},
+        )
+        code = gate.main(["--results", str(results), "--baseline", str(baseline)])
+        assert code == 0
+        assert "slow_full" not in capsys.readouterr().out
+
+    def test_update_round_trips(self, tmp_path):
+        results = write(tmp_path / "results.json", {"a": entry(0.1)})
+        baseline = tmp_path / "baseline.json"
+        assert gate.main(
+            ["--results", str(results), "--baseline", str(baseline), "--update"]
+        ) == 0
+        assert gate.main(
+            ["--results", str(results), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_empty_results_rejected(self, tmp_path):
+        results = write(tmp_path / "results.json", {})
+        with pytest.raises(SystemExit, match="no quick-mode"):
+            gate.main(["--results", str(results)])
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        results = write(tmp_path / "results.json", {"a": entry(0.1)})
+        with pytest.raises(SystemExit):
+            gate.main(["--results", str(results), "--tolerance", "0.5"])
+
+    def test_committed_baseline_is_quick_mode(self):
+        """The baseline the repo ships must stay loadable and quick-only —
+        the shape the CI gate depends on."""
+        baseline = gate.load_quick_entries(gate.DEFAULT_BASELINE)
+        assert baseline
+        assert all(e["min_s"] > 0 for e in baseline.values())

@@ -75,6 +75,39 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["topology", "nonesuch"])
 
+    def test_topology_vl2_preset(self, capsys):
+        assert main(["topology", "vl2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregation" in out and "intermediate" in out
+        assert "16 racks" in out
+        # VL2's heterogeneous links: 200 Gb/s box tier, 400 Gb/s switch tiers.
+        assert "200 Gb/s" in out and "400 Gb/s" in out
+
+    def test_topology_fat_tree_preset(self, capsys):
+        assert main(["topology", "fat-tree"]) == 0
+        out = capsys.readouterr().out
+        assert "core" in out and "agg1" in out
+        assert "16 racks" in out
+        assert "800 Gb/s" in out  # the toward-the-core bandwidth ramp
+
+    def test_topology_study_smoke(self, capsys):
+        code = main(["topology-study", "--schedulers", "risa",
+                     "--presets", "tiny", "tiny-pod", "--count", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 fabrics x 1 schedulers" in out
+        assert "tiny-pod" in out and "topology" in out
+        assert "inter_rack_percent by fabric topology" in out
+
+    def test_topology_study_validates_inputs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology-study", "--presets", "nope"])
+        with pytest.raises(SystemExit, match="--seeds"):
+            main(["topology-study", "--seeds", "0"])
+        with pytest.raises(SystemExit, match="figure metric"):
+            main(["topology-study", "--schedulers", "risa", "--presets",
+                  "tiny", "--count", "20", "--figure-metric", "nonesuch"])
+
 
 class TestNewCommands:
     def test_heatmap(self, capsys):

@@ -1,6 +1,6 @@
 """Tests for the configuration presets (Tables 1-3)."""
 
-from repro.config import paper_default, scaled, tiny_test, toy_example
+from repro.config import PRESETS, fat_tree, paper_default, scaled, tiny_test, toy_example, vl2
 from repro.types import ResourceType
 
 
@@ -56,3 +56,24 @@ def test_tiny_test_is_small():
     assert spec.ddc.num_racks == 2
     assert spec.ddc.rack_size == 3
     assert spec.ddc.box_capacity_units(ResourceType.CPU) == 8
+
+
+class TestTopologyZooPresets:
+    def test_registry_lists_the_zoo(self):
+        assert {"vl2", "fat-tree"} <= set(PRESETS)
+        assert PRESETS["vl2"] is vl2
+        assert PRESETS["fat-tree"] is fat_tree
+
+    def test_vl2_rack_count_follows_port_knobs(self):
+        assert vl2(D_A=8, D_I=8).ddc.num_racks == 16
+        assert vl2(D_A=16, D_I=8).ddc.num_racks == 32
+
+    def test_fat_tree_rack_count_follows_shape_knobs(self):
+        assert fat_tree(depth=3, fanout=4).ddc.num_racks == 16
+        assert fat_tree(depth=2, fanout=8).ddc.num_racks == 8
+
+    def test_zoo_keeps_paper_rack_shape(self):
+        for spec in (vl2(), fat_tree()):
+            assert spec.ddc.rack_size == 6
+            assert spec.ddc.bricks_per_box == 8
+            assert spec.ddc.units_per_brick == 16

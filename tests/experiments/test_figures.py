@@ -10,7 +10,6 @@ import pytest
 from repro.experiments import (
     EXPERIMENTS,
     render_report,
-    run_all,
     run_experiment,
     run_fig5,
     run_fig6,

@@ -6,7 +6,6 @@ from repro.config import paper_default, pod_scale, tiny_pod_test
 from repro.errors import SimulationError
 from repro.experiments import (
     AdmissionThreshold,
-    PodFailure,
     ScenarioBranch,
     ScenarioTree,
     SimulationSession,

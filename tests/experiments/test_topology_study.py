@@ -1,0 +1,86 @@
+"""Tests for the cross-topology scheduler study."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    SimulationSession,
+    SweepPoint,
+    TOPOLOGY_STUDY_PRESETS,
+    run_topology_study,
+)
+from repro.experiments.sweep import _preset_spec
+
+
+class TestPresetPoints:
+    def test_point_carries_preset_by_name(self):
+        point = SweepPoint(scheduler="risa", preset="vl2")
+        assert point.preset == "vl2"
+
+    def test_preset_spec_cache_resolves(self):
+        assert _preset_spec("vl2").ddc.num_racks == 16
+        assert _preset_spec("fat-tree").ddc.num_racks == 16
+
+    def test_unknown_preset_rejected(self):
+        session = SimulationSession()
+        with pytest.raises(SimulationError, match="unknown cluster preset"):
+            session.run_points([SweepPoint(scheduler="risa", preset="nonesuch")])
+
+    def test_preset_point_overrides_session_spec(self):
+        """A preset-carrying point simulates its own fabric, not the
+        session's pinned (paper, 18-rack) spec."""
+        session = SimulationSession()
+        result = session.run_points(
+            [SweepPoint(scheduler="risa", count=40, preset="tiny")]
+        )
+        # tiny_test has 2 racks x 3 boxes of 8 units; 40 VMs overflow it,
+        # which can never happen on the paper spec at this trace size.
+        assert result.outcomes[0].summary.dropped_vms > 0
+
+
+class TestTopologyStudy:
+    def test_default_lineup(self):
+        assert TOPOLOGY_STUDY_PRESETS == ("paper", "pod-scale", "vl2", "fat-tree")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SimulationError, match="unknown presets"):
+            run_topology_study(presets=("paper", "nonesuch"))
+
+    def test_study_grid_and_rendering(self):
+        result = run_topology_study(
+            schedulers=("risa", "nulb"),
+            presets=("tiny", "tiny-pod"),
+            seeds=(0, 1),
+            count=40,
+        )
+        assert len(result) == 8  # 2 presets x 2 seeds x 2 schedulers
+        assert result.presets() == ("tiny", "tiny-pod")
+        assert result.schedulers() == ("risa", "nulb")
+        aggregated = result.aggregated()
+        assert aggregated[("tiny", "risa")]["runs"] == 2
+
+        table = result.table(["scheduled_vms", "dropped_vms"])
+        assert "topology" in table and "tiny-pod" in table
+
+        figure = result.figure("inter_rack_percent")
+        assert "inter_rack_percent by fabric topology" in figure
+        assert "tiny-pod:" in figure
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            schedulers=("risa",),
+            presets=("tiny", "tiny-pod"),
+            seeds=(0,),
+            count=40,
+        )
+        serial = run_topology_study(parallel=1, **kwargs)
+        parallel = run_topology_study(parallel=2, **kwargs)
+
+        def masked(outcome):
+            d = outcome.summary.as_dict()
+            d.pop("scheduler_time_s")
+            return d
+
+        assert [masked(o) for o in serial.outcomes] == [
+            masked(o) for o in parallel.outcomes
+        ]

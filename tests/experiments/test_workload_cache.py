@@ -1,7 +1,5 @@
 """Tests for the content-addressed on-disk workload store."""
 
-import os
-
 import pytest
 
 from repro.errors import WorkloadError
@@ -21,7 +19,6 @@ from repro.experiments.workload_cache import (
     synthetic_workload,
 )
 from repro.workloads import (
-    TraceColumns,
     read_trace_metadata,
     save_trace_npz,
     synthesize_azure,

@@ -17,7 +17,7 @@ import pytest
 from repro.config import tiny_test
 from repro.sim import DDCSimulator
 from repro.state import STATE_BACKEND_ENV, state_backend
-from repro.types import RESOURCE_ORDER, ResourceType
+from repro.types import RESOURCE_ORDER
 
 DEMANDS = (5.0, 12.5, 25.0, 50.0)
 

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.config import paper_default
 from repro.errors import WorkloadError
-from repro.workloads import VMRequest, resolve, resolve_all
+from repro.workloads import resolve, resolve_all
 from tests.conftest import make_vm
 
 
