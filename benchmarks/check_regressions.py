@@ -25,6 +25,7 @@ the quick-mode results and rewrite the baseline::
         python -m pytest benchmarks/bench_engine.py benchmarks/bench_micro.py \\
             benchmarks/bench_scaling.py benchmarks/bench_fabric.py \\
             benchmarks/bench_checkpoint.py benchmarks/bench_array_core.py \\
+            benchmarks/bench_event_batching.py \\
             benchmarks/bench_workload_stream.py -q
     python benchmarks/check_regressions.py --results /tmp/bench.json --update
 

@@ -39,12 +39,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from ..analysis.ascii_plot import ascii_table
 from ..config import ClusterSpec
 from ..errors import SimulationError
 from ..metrics import RunSummary, aggregate_summaries
 from ..sim import DDCSimulator
-from ..workloads import VMRequest
+from ..workloads import TraceColumns, VMRequest
 
 #: Reserved name of the unperturbed branch every tree carries by default.
 BASELINE_BRANCH = "baseline"
@@ -254,8 +256,18 @@ class ScenarioTree:
         base = (ScenarioBranch(BASELINE_BRANCH),) if self.include_baseline else ()
         return base + tuple(self.branches)
 
-    def fork_time(self, vms: Sequence[VMRequest]) -> float:
-        """The absolute fork time for one trace."""
+    def fork_time(self, vms: Sequence[VMRequest] | TraceColumns) -> float:
+        """The absolute fork time for one trace (objects or columns).
+
+        The columnar branch sorts the arrival column in place of the object
+        comprehension — same float64 values, same index arithmetic, so both
+        representations of one trace fork at the identical time.
+        """
+        if isinstance(vms, TraceColumns):
+            if vms.arrival.shape[0] == 0:
+                raise SimulationError("cannot fork an empty trace")
+            times = np.sort(vms.arrival)
+            return float(times[int(self.fork_fraction * times.shape[0])])
         if not vms:
             raise SimulationError("cannot fork an empty trace")
         times = sorted(vm.arrival for vm in vms)
@@ -341,7 +353,7 @@ class ScenarioResult:
 def run_scenario_tree(
     spec: ClusterSpec,
     scheduler: str,
-    vms: Sequence[VMRequest],
+    vms: Sequence[VMRequest] | TraceColumns,
     tree: ScenarioTree,
     seed: int = 0,
     keep_records: bool = False,
@@ -354,6 +366,11 @@ def run_scenario_tree(
     the remaining trace.  Branch continuations are bit-identical to cold
     runs of the same perturbed scenario — the baseline branch in particular
     reproduces the plain uninterrupted run exactly.
+
+    ``vms`` may be a :class:`~repro.workloads.TraceColumns` trace, in which
+    case the run streams it chunked (request objects exist only per
+    dispatched chunk, for every branch) and produces the same digests and
+    summaries as the object-trace form.
     """
     sim = DDCSimulator(spec, scheduler, engine="flat", keep_records=keep_records)
     sim.start_run(vms)

@@ -205,13 +205,19 @@ class ScenarioPoint:
 
 
 def _run_scenario_point(point: ScenarioPoint) -> ScenarioOutcome:
-    """Run one scenario tree against the worker's pinned spec."""
+    """Run one scenario tree against the worker's pinned spec.
+
+    Like :func:`_run_point`, the trace stays columnar end to end: the tree
+    forks off the sorted arrival column and every branch streams the
+    chunked arrival source — no per-point :class:`VMRequest` list is ever
+    materialized in the worker.
+    """
     spec = _WORKER_SPEC if _WORKER_SPEC is not None else paper_default()
-    vms = build_workload(point.workload, point.count, point.seed)
+    columns = cached_columns(point.workload, point.count, point.seed)
     return run_scenario_tree(
         spec,
         point.scheduler,
-        vms,
+        columns,
         point.tree,
         seed=point.seed,
         keep_records=point.keep_records,

@@ -39,9 +39,10 @@ class MetricsSnapshot:
     """O(1) copy-on-fork state of a :class:`MetricsCollector`.
 
     Everything a mid-run fork needs to continue bit-identically: the scalar
-    tallies, every gauge's five scalars, the power report's energy totals,
-    and the *length* of the append-only per-VM lists (records rewind by
-    truncation, they are never copied)."""
+    tallies, every gauge's six scalars (including its raw pending-fold
+    register — see :mod:`repro.metrics.gauges`), the power report's energy
+    totals, and the *length* of the append-only per-VM lists (records rewind
+    by truncation, they are never copied)."""
 
     record_count: int
     scheduler_time_s: float
@@ -52,7 +53,7 @@ class MetricsSnapshot:
     inter_rack_count: int
     latency_sum_ns: float
     latency_count: int
-    gauges: tuple[tuple[str, tuple[float, float, float, float, float]], ...]
+    gauges: tuple[tuple[str, tuple[float, float, float, float, float, float]], ...]
     power: tuple[float, float, int]
 
 
@@ -160,9 +161,20 @@ class MetricsCollector:
 
         When neither the cluster nor the fabric changed since the last full
         sample (their version counters match), every utilization reads the
-        same value — so advancing the clocks is exactly ``update(now,
-        same_value)`` at a fraction of the cost.  Drop-heavy runs hit this
-        constantly: a rejected VM touches no state.
+        same value — drop-heavy runs hit this constantly: a rejected VM
+        touches no state, so the tick only advances the gauges' pending
+        clock (a scalar store under the lazy bank).
+
+        When the versions *did* change, the fresh utilizations are compared
+        against the current gauge values and the integrals fold only when at
+        least one actually differs.  The collector — not the gauges — owns
+        this change gate on purpose: the fold points (which define the exact
+        IEEE-754 grouping of the accumulated averages) become a pure
+        function of the sampled value series, identical across engines,
+        state backends, batching on/off, and cold vs restored runs.  In
+        particular, a restored collector's forced recompute (versions reset
+        to ``-1``) lands on equal values and takes the same no-fold path the
+        uninterrupted run took.
         """
         cv = self.cluster.version
         fv = self.fabric.version
@@ -186,15 +198,36 @@ class MetricsCollector:
             buf[k] = cluster.utilization(ResourceType.CPU)
             buf[k + 1] = cluster.utilization(ResourceType.RAM)
             buf[k + 2] = cluster.utilization(ResourceType.STORAGE)
-            self._bank.update_all(now, buf)
+            # Plain-float equality is safe here: utilizations are never
+            # -0.0 (``used / cap`` and ``1.0 - avail / cap`` with
+            # non-negative operands) and NaN never enters a gauge.
+            if buf == self._bank.values_list():
+                self._bank.advance_all(now)
+            else:
+                self._bank.update_all(now, buf)
         else:
-            for tier, gauge in self._net_gauges:
-                gauge.update(now, fabric.tier_utilization(tier))
-            self._gauges["cpu"].update(now, cluster.utilization(ResourceType.CPU))
-            self._gauges["ram"].update(now, cluster.utilization(ResourceType.RAM))
-            self._gauges["storage"].update(
-                now, cluster.utilization(ResourceType.STORAGE)
+            pairs = [
+                (gauge, fabric.tier_utilization(tier))
+                for tier, gauge in self._net_gauges
+            ]
+            pairs.append(
+                (self._gauges["cpu"], cluster.utilization(ResourceType.CPU))
             )
+            pairs.append(
+                (self._gauges["ram"], cluster.utilization(ResourceType.RAM))
+            )
+            pairs.append(
+                (
+                    self._gauges["storage"],
+                    cluster.utilization(ResourceType.STORAGE),
+                )
+            )
+            if all(gauge.value == value for gauge, value in pairs):
+                for gauge, _ in pairs:
+                    gauge.advance(now)
+            else:
+                for gauge, value in pairs:
+                    gauge.update(now, value)
         self.last_event_time = max(self.last_event_time, now)
 
     def _note_arrival(self, now: float) -> None:
@@ -264,6 +297,36 @@ class MetricsCollector:
     def record_release(self, now: float) -> None:
         """Record a departure (gauges drop)."""
         self._sample_gauges(now)
+
+    def record_release_batch(self, times, values) -> None:
+        """Record a run of consecutive departures in one call.
+
+        ``times`` is the non-decreasing event times and ``values`` a
+        ``(len(times), len(gauges))`` float64 matrix whose row ``i`` holds
+        every gauge's utilization *after* event ``i`` — computed by the
+        simulator's batched release path from the exact same expressions
+        :meth:`_sample_gauges` evaluates per event.  The bank replays the
+        rows with the identical per-row change gate, so fold points (and
+        summary bits) match the scalar path; only the per-event numpy
+        dispatch cost is gone.  Requires the array gauge store.
+        """
+        bank = self._bank
+        if bank is None:
+            raise SimulationError(
+                "record_release_batch requires the array gauge store "
+                "(REPRO_STATE_BACKEND=arrays)"
+            )
+        bank.update_all_batch(times, values)
+        t = float(times[-1])
+        if t > self.last_event_time:
+            self.last_event_time = t
+        self._cluster_version = self.cluster.version
+        self._fabric_version = self.fabric.version
+
+    def has_gauge_bank(self) -> bool:
+        """True when gauges live in the array-backed bank — the precondition
+        of :meth:`record_release_batch` (simulator fast-path gating)."""
+        return self._bank is not None
 
     def add_scheduler_time(self, seconds: float) -> None:
         """Accumulate wall-clock time spent inside scheduler decisions."""

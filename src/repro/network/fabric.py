@@ -24,7 +24,9 @@ same bundles, same link order, same switch-port tuples, same tier counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..config import ClusterSpec, FabricTopology
 from ..errors import NetworkAllocationError, TopologyError
@@ -458,6 +460,30 @@ class NetworkFabric:
         for link in circuit.links:
             link.free(demand)
         self._tier_used = pending
+
+    def release_batch(self, groups: Sequence[Sequence[Circuit]]):
+        """Release a run of departures' circuits with deferred tree upkeep.
+
+        ``groups`` holds one circuit sequence per departing VM, in event
+        order.  Every circuit releases through the exact per-event scalar
+        operation chain (:meth:`FabricStateArrays.release_groups_deferred`),
+        so link, bundle, and tier floats land bit-identically to sequential
+        :meth:`release` calls; only the bundles' free-link segment trees —
+        consulted exclusively during scheduling, which cannot interleave
+        with a departure batch — are settled once at the end.
+
+        Returns a ``(len(groups), num_tiers)`` float64 matrix whose row
+        ``i`` is the per-tier reserved bandwidth *after* departure ``i`` —
+        the utilization numerators the metrics batch needs.  Requires the
+        array backend.
+        """
+        fa = self._state_arrays
+        if fa is None:
+            raise NetworkAllocationError(
+                "release_batch requires the array state backend"
+            )
+        self._version += sum(len(circuits) for circuits in groups)
+        return fa.release_groups_deferred(groups)
 
     # ------------------------------------------------------------------ #
     # Snapshots (what-if analysis and oversubscription rollback)

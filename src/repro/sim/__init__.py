@@ -9,17 +9,20 @@ from .events import Event, Timeout
 from .resources import SimResource, SimStore
 from .results import SimulationResult
 from .simulator import (
+    BATCHING_ENV_VAR,
     ENGINES,
     DDCSimulator,
     RunCheckpoint,
     SimCheckpoint,
     default_engine,
+    event_batching_enabled,
     simulate,
 )
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BATCHING_ENV_VAR",
     "DDCSimulator",
     "ENGINES",
     "EngineSnapshot",
@@ -35,6 +38,7 @@ __all__ = [
     "SimulationResult",
     "Timeout",
     "default_engine",
+    "event_batching_enabled",
     "SimCheckpoint",
     "simulate",
 ]

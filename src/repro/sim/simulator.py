@@ -44,6 +44,8 @@ import os
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from ..config import ClusterSpec
 from ..errors import SimulationError
 from ..metrics import MetricsCollector, MetricsSnapshot, summarize
@@ -70,6 +72,28 @@ ENGINES: tuple[str, ...] = ("flat", "generator")
 
 #: Environment variable overriding the process-wide default engine.
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+#: Environment variable toggling batched departure application (``on``, the
+#: default, or ``off`` for the per-event A/B baseline).  Latched at
+#: simulator construction.  Unless ``REPRO_LAZY_GAUGES`` overrides it, this
+#: knob also selects the gauge banks' lazy/eager mode, so one switch flips
+#: the whole per-event baseline back on.
+BATCHING_ENV_VAR = "REPRO_EVENT_BATCHING"
+
+#: Below this many departures a batch is applied through the scalar path:
+#: the numpy setup costs more than it saves on tiny runs.
+_MIN_FAST_BATCH = 4
+
+
+def event_batching_enabled() -> bool:
+    """Whether the flat engine drains departures in batches."""
+    mode = os.environ.get(BATCHING_ENV_VAR, "on")
+    if mode not in ("on", "off"):
+        raise SimulationError(
+            f"{BATCHING_ENV_VAR}={mode!r} is not a known mode; "
+            "choose from ('on', 'off')"
+        )
+    return mode == "on"
 
 
 @dataclass(frozen=True, slots=True)
@@ -176,6 +200,21 @@ class DDCSimulator:
         #: Arrival-resolution batch size for columnar traces (how many VMs
         #: are resolved into request objects at a time).
         self.chunk_size = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
+        # Batched departure application (latched at construction, like the
+        # engine choice).  The fused fast path additionally requires the
+        # array state backend on both cluster and fabric, the array gauge
+        # bank, and the stock release path — a scheduler that overrides
+        # release() gets the scalar loop, always.
+        self._batching = event_batching_enabled()
+        self._on_departures = (
+            self._handle_departure_batch if self._batching else None
+        )
+        self._batch_fast = (
+            self.cluster.state_arrays is not None
+            and self.fabric.state_arrays is not None
+            and self.collector.has_gauge_bank()
+            and type(self.scheduler).release is Scheduler.release
+        )
         # Stateful (forkable) run machinery; populated by start_run().
         # Exactly one of _trace (object traces) / _source (columnar traces)
         # is set during a stateful run.
@@ -256,6 +295,86 @@ class DDCSimulator:
         if self.event_log is not None:
             self.event_log.record(now, "departure", placement.vm_id)
 
+    def _handle_departure_batch(
+        self, batch: list[tuple[float, Placement]]
+    ) -> None:
+        """Apply a run of consecutive departures from the flat engine.
+
+        Tiny batches, non-array configurations, overridden scheduler
+        release paths, and drained-rack states (whose sticky re-occupation
+        is inherently per-box) fall back to the per-event handler —
+        bit-identical by construction, just without the fused arithmetic.
+        """
+        if (
+            self._batch_fast
+            and len(batch) >= _MIN_FAST_BATCH
+            and not self.cluster.drained_racks
+        ):
+            self._apply_departure_batch(batch)
+            return
+        for now, placement in batch:
+            self._handle_departure(placement, now)
+
+    def _apply_departure_batch(
+        self, batch: list[tuple[float, Placement]]
+    ) -> None:
+        """Fused release of a departure run (the tentpole fast path).
+
+        Compute receipts scatter into the occupancy arrays in one pass per
+        resource type; the per-event utilization series is reconstructed
+        *exactly* from the pre-batch totals plus an integer cumulative sum
+        (int64 -> float64 conversion is exact and the division is the same
+        correctly-rounded ``avail / cap`` the scalar path computes, so each
+        gauge row is bit-identical to what per-event sampling would have
+        seen).  Network circuits release through the sequential scalar
+        chain with only the free-link tree upkeep deferred to the batch
+        boundary.  Gauge rows then replay through the bank's batched fold
+        with the same per-row change gate the collector applies per event.
+        """
+        cluster = self.cluster
+        fabric = self.fabric
+        tiers = fabric.tiers
+        num_tiers = len(tiers)
+        n = len(batch)
+        start_avail = [cluster.total_avail(rtype) for rtype in RESOURCE_ORDER]
+        comp_caps = [cluster.total_capacity(rtype) for rtype in RESOURCE_ORDER]
+        times = np.empty(n, dtype=np.float64)
+        released = np.zeros((n, len(RESOURCE_ORDER)), dtype=np.int64)
+        allocations = []
+        groups = []
+        for i, (now, placement) in enumerate(batch):
+            times[i] = now
+            allocations.append(placement.cpu)
+            released[i, 0] = placement.cpu.units
+            allocations.append(placement.ram)
+            released[i, 1] = placement.ram.units
+            if placement.storage is not None:
+                allocations.append(placement.storage)
+                released[i, 2] = placement.storage.units
+            groups.append(placement.circuits)
+        cluster.apply_release_batch(allocations)
+        rows = fabric.release_batch(groups)
+        values = np.empty((n, num_tiers + 3), dtype=np.float64)
+        for i, tier in enumerate(tiers):
+            cap = fabric.tier_capacity_gbps(tier)
+            if cap == 0:
+                values[:, i] = 0.0
+            else:
+                np.divide(rows[:, i], cap, out=values[:, i])
+        for tpos in range(len(RESOURCE_ORDER)):
+            col = num_tiers + tpos
+            cap = comp_caps[tpos]
+            if cap == 0:
+                values[:, col] = 0.0
+            else:
+                avail = start_avail[tpos] + np.cumsum(released[:, tpos])
+                np.divide(avail, cap, out=values[:, col])
+                np.subtract(1.0, values[:, col], out=values[:, col])
+        self.collector.record_release_batch(times, values)
+        if self.event_log is not None:
+            for now, placement in batch:
+                self.event_log.record(now, "departure", placement.vm_id)
+
     # ------------------------------------------------------------------ #
     # Engines
     # ------------------------------------------------------------------ #
@@ -298,6 +417,7 @@ class DDCSimulator:
             self._handle_arrival,
             self._handle_departure,
             until=until,
+            on_departures=self._on_departures,
         )
 
     def _vm_process(self, env: Environment, request: ResolvedRequest):
@@ -472,11 +592,19 @@ class DDCSimulator:
             if until is not None and when > until:
                 break
             if when > engine.now:
-                engine.advance(self._handle_arrival, self._handle_departure, until=when)
+                engine.advance(
+                    self._handle_arrival,
+                    self._handle_departure,
+                    until=when,
+                    on_departures=self._on_departures,
+                )
             self._pending_faults.pop(0)
             action.apply(self)
         return engine.advance(
-            self._handle_arrival, self._handle_departure, until=until
+            self._handle_arrival,
+            self._handle_departure,
+            until=until,
+            on_departures=self._on_departures,
         )
 
     def finish(self) -> SimulationResult:

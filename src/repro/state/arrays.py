@@ -35,7 +35,12 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import NetworkAllocationError, SimulationError, TopologyError
+from ..errors import (
+    CapacityError,
+    NetworkAllocationError,
+    SimulationError,
+    TopologyError,
+)
 from ..types import RESOURCE_ORDER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoid import cycles)
@@ -118,6 +123,7 @@ class ClusterStateArrays:
         "rack_max",
         "_box_meta",
         "_rows_by_type",
+        "_box_coords",
     )
 
     def __init__(self, cluster: "Cluster") -> None:
@@ -184,6 +190,9 @@ class ClusterStateArrays:
             rows_by_type[tpos].append(row)
         self._box_meta = meta
         self._rows_by_type = rows_by_type
+        # box_id -> (tpos, pos, brick_lo, rack_index); built lazily on the
+        # first batched release (the one consumer).
+        self._box_coords: dict[int, tuple[int, int, int, int]] | None = None
 
     # ------------------------------------------------------------------ #
     # Derived-aggregate maintenance
@@ -233,6 +242,95 @@ class ClusterStateArrays:
             m = avail[lo:hi].max()
             if m != old:
                 rm[rack_index] = m
+
+    def _build_box_coords(self) -> dict[int, tuple[int, int, int, int]]:
+        """Map box id -> (tpos, pos, brick_lo, rack_index) for batch scatter."""
+        rack_of: list[list[int]] = []
+        for tpos in range(len(RESOURCE_ORDER)):
+            per_pos = [0] * int(self.box_avail[tpos].shape[0])
+            for rack_index, (lo, hi) in enumerate(self.rack_spans[tpos]):
+                for pos in range(lo, hi):
+                    per_pos[pos] = rack_index
+            rack_of.append(per_pos)
+        coords: dict[int, tuple[int, int, int, int]] = {}
+        pos_within = [0] * len(RESOURCE_ORDER)
+        for bid, tpos, lo, _hi, _caps in self._box_meta:
+            pos = pos_within[tpos]
+            pos_within[tpos] = pos + 1
+            coords[bid] = (tpos, pos, lo, rack_of[tpos][pos])
+        self._box_coords = coords
+        return coords
+
+    def apply_release_batch(
+        self, allocations: Sequence
+    ) -> tuple[list[int], list[dict[int, int]], list[int]]:
+        """Return a run of box allocations to the pool with fused scatters.
+
+        ``allocations`` are :class:`~repro.topology.box.BoxAllocation`
+        receipts, in release order.  Brick occupancy and box availability
+        update via one ``np.subtract.at`` / ``np.add.at`` per resource type;
+        each touched rack's maximum is recomputed from its slice once at the
+        end — releases only *raise* availability, so the slice max equals
+        the value the per-event incremental chain would have left (integer
+        arithmetic, no rounding).  Validation is batched too, with full undo
+        before raising, so a rejected batch leaves the arrays untouched.
+
+        Returns ``(per-type released totals, per-type rack deltas, touched
+        box ids in first-touch order)`` for the cluster layer to fold into
+        its cached totals and the capacity index.
+        """
+        coords = self._box_coords
+        if coords is None:
+            coords = self._build_box_coords()
+        num_types = len(RESOURCE_ORDER)
+        brick_idx: list[list[int]] = [[] for _ in range(num_types)]
+        brick_take: list[list[int]] = [[] for _ in range(num_types)]
+        box_pos: list[list[int]] = [[] for _ in range(num_types)]
+        box_units: list[list[int]] = [[] for _ in range(num_types)]
+        touched_boxes: dict[int, None] = {}
+        rack_deltas: list[dict[int, int]] = [{} for _ in range(num_types)]
+        for alloc in allocations:
+            tpos, pos, lo, rack_index = coords[alloc.box_id]
+            for brick_index, take in alloc.brick_slices:
+                brick_idx[tpos].append(lo + brick_index)
+                brick_take[tpos].append(take)
+            box_pos[tpos].append(pos)
+            box_units[tpos].append(alloc.units)
+            touched_boxes[alloc.box_id] = None
+            deltas = rack_deltas[tpos]
+            deltas[rack_index] = deltas.get(rack_index, 0) + alloc.units
+        totals = [0] * num_types
+        for tpos in range(num_types):
+            if not box_pos[tpos]:
+                continue
+            idx = np.array(brick_idx[tpos], dtype=np.int64)
+            take = np.array(brick_take[tpos], dtype=np.int64)
+            used = self.brick_used[tpos]
+            np.subtract.at(used, idx, take)
+            if (used[idx] < 0).any():
+                np.add.at(used, idx, take)
+                raise CapacityError(
+                    "batched release drove brick occupancy negative — "
+                    "allocation receipts do not match current occupancy"
+                )
+            pos_arr = np.array(box_pos[tpos], dtype=np.int64)
+            units = np.array(box_units[tpos], dtype=np.int64)
+            avail = self.box_avail[tpos]
+            np.add.at(avail, pos_arr, units)
+            if (avail[pos_arr] > self.box_capacity[tpos][pos_arr]).any():
+                np.subtract.at(avail, pos_arr, units)
+                np.add.at(used, idx, take)
+                raise CapacityError(
+                    "batched release overflowed a box's capacity — "
+                    "allocation receipts do not match current occupancy"
+                )
+            totals[tpos] = int(units.sum())
+            rack_max = self.rack_max[tpos]
+            spans = self.rack_spans[tpos]
+            for rack_index in rack_deltas[tpos]:
+                lo, hi = spans[rack_index]
+                rack_max[rack_index] = avail[lo:hi].max()
+        return totals, rack_deltas, list(touched_boxes)
 
     # ------------------------------------------------------------------ #
     # Vectorized queries (RISA pool/super-rack, rack views)
@@ -564,6 +662,94 @@ class FabricStateArrays:
         self._update_trees(
             [l.link_id for l in links], (self.link_capacity[idx] - new).tolist()
         )
+
+    def release_groups_deferred(
+        self, groups: Sequence[Sequence["Circuit"]]
+    ) -> np.ndarray:
+        """Release a run of departures' circuits with batch-local state.
+
+        ``groups`` holds one circuit sequence per departing VM, in event
+        order.  Every per-link/per-tier float chain replays the exact
+        operation sequence of :meth:`release_path`'s scalar branch — same
+        values, same order, so the result is bit-identical to sequential
+        per-event releases — but the chains run on *python* floats pulled
+        lazily from the arrays once per touched link/bundle and written
+        back once at the end (python and numpy float64 arithmetic are both
+        IEEE-754 double, so the grouping is all that matters and it is
+        unchanged).  That drops the per-event numpy scalar-indexing
+        overhead the release path otherwise pays ~10x per hop.  The
+        bundles' free-link trees — consulted only during scheduling, which
+        cannot interleave with a departure batch — settle once at the end
+        from the same ``capacity - used`` values the last per-event update
+        would have written.
+
+        Returns a ``(len(groups), num_tiers)`` float64 matrix: row ``i`` is
+        the per-tier reserved bandwidth after departure ``i``.  Validation
+        failures raise before any write-back, leaving the arrays untouched
+        (strictly safer than the per-event path's partial application;
+        callers treat both as fatal).
+        """
+        lu = self.link_used
+        bu = self.bundle_used
+        lb = self.link_bundle
+        tu_list = self.tier_used.tolist()
+        tcap_list = self.tier_capacity.tolist()
+        rows = np.empty((len(groups), len(tu_list)), dtype=np.float64)
+        used_local: dict[int, float] = {}
+        bundle_local: dict[int, float] = {}
+        for i, circuits in enumerate(groups):
+            for circuit in circuits:
+                demand = circuit.demand_gbps
+                links = circuit.links
+                pending = tu_list.copy()
+                for link in links:
+                    lid = link.link_id
+                    used = used_local.get(lid)
+                    if used is None:
+                        used = float(lu[lid])
+                    if demand > used + _BANDWIDTH_EPS:
+                        raise NetworkAllocationError(
+                            f"link {lid}: freeing {demand} Gb/s but only "
+                            f"{used} Gb/s reserved — circuit released twice?"
+                        )
+                    lvl = link.tier.level
+                    remaining = pending[lvl] - demand
+                    if remaining < -_BANDWIDTH_EPS * max(1.0, tcap_list[lvl]):
+                        raise NetworkAllocationError(
+                            f"{link.tier.value} tier accounting underflow: "
+                            f"releasing {demand} Gb/s leaves {remaining} Gb/s "
+                            "reserved — circuit released twice?"
+                        )
+                    pending[lvl] = remaining if remaining > 0 else 0.0
+                for link in links:
+                    lid = link.link_id
+                    old = used_local.get(lid)
+                    if old is None:
+                        old = float(lu[lid])
+                    new = old - demand
+                    if new < 0.0:
+                        new = 0.0
+                    used_local[lid] = new
+                    b = lb[lid]
+                    cur = bundle_local.get(b)
+                    if cur is None:
+                        cur = float(bu[b])
+                    bundle_local[b] = cur + (new - old)
+                tu_list = pending
+            rows[i] = tu_list
+        if used_local:
+            ids = list(used_local)
+            lu[ids] = list(used_local.values())
+            bu[list(bundle_local)] = list(bundle_local.values())
+            self.tier_used[:] = tu_list
+            lc = self.link_capacity
+            lp = self.link_pos
+            bundles = self.bundles
+            for lid, used in used_local.items():
+                tree = bundles[lb[lid]]._tree
+                if tree is not None:
+                    tree.update(lp[lid], float(lc[lid]) - used)
+        return rows
 
     # ------------------------------------------------------------------ #
     # Snapshots

@@ -244,6 +244,42 @@ class Cluster:
         ):
             box.set_occupancy([brick.capacity_units for brick in box.bricks])
 
+    def apply_release_batch(self, allocations) -> None:
+        """Release a run of box allocations through the array backend's
+        fused scatter path (the flat engine's departure batches).
+
+        Equivalent, state-for-state, to releasing each
+        :class:`~repro.topology.box.BoxAllocation` through its box: the
+        arrays settle occupancy/availability/rack maxima in bulk, the cached
+        totals fold per type (integer adds — order-free), and the capacity
+        index is notified once per *touched box* instead of once per event
+        (its tree holds one value per box, so the final write wins either
+        way).  Requires the array backend; callers must fall back to
+        per-event releases while any rack is drained (drain stickiness
+        re-occupies freed units through ``set_occupancy``, a per-box code
+        path batching cannot replicate).
+        """
+        sa = self._state_arrays
+        if sa is None:
+            raise CapacityError(
+                "apply_release_batch requires the array state backend"
+            )
+        if self._drained_racks:
+            raise CapacityError(
+                "apply_release_batch is not valid while racks are drained"
+            )
+        totals, rack_deltas, touched = sa.apply_release_batch(allocations)
+        self._version += len(allocations)
+        for tpos, rtype in enumerate(RESOURCE_ORDER):
+            total = totals[tpos]
+            if total:
+                self._total_avail[rtype] += total
+            for rack_index, delta in rack_deltas[tpos].items():
+                self.racks[rack_index].apply_avail_delta(rtype, delta)
+        if self._capacity_index is not None:
+            for box_id in touched:
+                self._capacity_index.update_box(self._box_by_id[box_id])
+
     def rebuild_caches(self) -> None:
         """Recompute every derived structure — cluster totals, rack caches,
         and the capacity index — from live box/brick state in O(n).

@@ -163,6 +163,18 @@ class Rack:
                 (b.avail_units for b in self._boxes_by_type[rtype]), default=0
             )
 
+    def apply_avail_delta(self, rtype: ResourceType, delta: int) -> None:
+        """Fold one batched availability delta into the rack total.
+
+        The cluster's batched-release path calls this once per (rack, type)
+        instead of once per box event.  Only valid while the state arrays
+        are bound: the per-rack maxima then live in (and were already
+        settled by) the arrays, so the total is the only cache to maintain —
+        exactly the work :meth:`on_box_change` does in that configuration.
+        """
+        assert self._state_arrays is not None
+        self._total_avail[rtype] += delta
+
     def rebuild_cache(self) -> None:
         """Recompute both aggregates from live box state (bulk-restore path)."""
         for rtype in RESOURCE_ORDER:

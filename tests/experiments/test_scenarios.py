@@ -16,7 +16,11 @@ from repro.experiments import (
     run_scenario_tree,
 )
 from repro.sim import simulate
-from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+from repro.workloads import (
+    SyntheticWorkloadParams,
+    generate_synthetic,
+    generate_synthetic_columns,
+)
 
 
 def trace(count=300, seed=0):
@@ -129,6 +133,59 @@ class TestScenarioExecution:
         times = sorted(vm.arrival for vm in vms)
         tree = ScenarioTree(branches=(ScenarioBranch("a"),), fork_fraction=0.5)
         assert tree.fork_time(vms) == times[50]
+
+
+class TestColumnarScenarios:
+    def test_fork_time_identical_for_columns(self):
+        params = SyntheticWorkloadParams(count=100)
+        cols = generate_synthetic_columns(params, seed=0)
+        vms = generate_synthetic(params, seed=0)
+        tree = ScenarioTree(branches=(ScenarioBranch("a"),), fork_fraction=0.5)
+        assert tree.fork_time(cols) == tree.fork_time(vms)
+        assert type(tree.fork_time(cols)) is float
+
+    def test_fork_time_rejects_empty_columns(self):
+        tree = ScenarioTree(branches=(ScenarioBranch("a"),))
+        with pytest.raises(SimulationError, match="empty trace"):
+            tree.fork_time(generate_synthetic_columns(
+                SyntheticWorkloadParams(count=1), seed=0).slice(0, 0))
+
+    def test_columnar_tree_matches_object_tree(self):
+        """A scenario tree driven by a TraceColumns trace — warm prefix,
+        baseline, and a perturbed branch — reproduces the object-trace
+        outcomes bit for bit."""
+        spec = paper_default()
+        params = SyntheticWorkloadParams(count=200)
+        vms = generate_synthetic(params, seed=2)
+        cols = generate_synthetic_columns(params, seed=2)
+        tree = ScenarioTree(branches=tuple(admission_branches((0.4,))))
+        objects = run_scenario_tree(spec, "risa", vms, tree)
+        columns = run_scenario_tree(spec, "risa", cols, tree)
+        assert columns.fork_time == objects.fork_time
+        assert [b.branch for b in columns.branches] == [
+            b.branch for b in objects.branches
+        ]
+        for got, want in zip(columns.branches, objects.branches):
+            assert masked(got.summary) == masked(want.summary)
+            assert got.end_time == want.end_time
+
+    def test_scenario_point_never_materializes_objects(self, monkeypatch):
+        """The worker path streams columns: the object-list builder must
+        never run for a scenario point."""
+        from repro.experiments import sweep as sweep_mod
+        from repro.experiments.sweep import ScenarioPoint, _run_scenario_point
+
+        def boom(*args, **kwargs):
+            raise AssertionError("scenario point materialized a VMRequest list")
+
+        from repro.workloads import TraceColumns
+
+        monkeypatch.setattr(sweep_mod, "build_workload", boom)
+        monkeypatch.setattr(TraceColumns, "to_vms", boom, raising=True)
+        tree = ScenarioTree(branches=tuple(admission_branches((0.4,))))
+        point = ScenarioPoint(scheduler="risa", tree=tree, count=80)
+        outcome = _run_scenario_point(point)
+        assert outcome.branch("baseline").summary.total_vms == 80
 
 
 class TestScenarioSession:

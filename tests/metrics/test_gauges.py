@@ -161,3 +161,101 @@ class TestGaugeBank:
     def test_bank_rejects_duplicate_names(self):
         with pytest.raises(SimulationError, match="duplicate gauge names"):
             GaugeBank(("x", "x"))
+
+
+class TestPendingRegisterCheckpoints:
+    """Snapshot/restore taken *mid-defer*: the pending ``(value, since)``
+    register — clock ahead of the last integral fold — must survive a
+    checkpoint cut verbatim, neither re-folded nor dropped."""
+
+    def test_gauge_snapshot_mid_defer_roundtrip(self):
+        gauge = TimeWeightedGauge()
+        gauge.update(1.0, 0.5)
+        gauge.advance(3.0)  # pending interval [1.0, 3.0) at value 0.5 open
+        snap = gauge.snapshot()
+        restored = TimeWeightedGauge()
+        restored.restore(snap)
+        assert restored.snapshot() == snap
+        assert restored.average() == gauge.average()
+        # Continuations fold the pending interval identically.
+        gauge.update(4.0, 0.9)
+        restored.update(4.0, 0.9)
+        assert restored.snapshot() == gauge.snapshot()
+        assert restored.average() == gauge.average()
+
+    def test_gauge_restore_does_not_refold_pending_interval(self):
+        gauge = TimeWeightedGauge()
+        gauge.update(2.0, 1.0)
+        gauge.advance(6.0)  # 4 pending units at value 1.0, not yet folded
+        average_before = gauge.average()
+        snap = gauge.snapshot()
+        gauge.restore(snap)
+        assert gauge.average() == average_before
+        gauge.restore(snap)  # double restore: still no fold, no drop
+        assert gauge.average() == average_before
+
+    def test_bank_snapshot_mid_defer_roundtrip(self):
+        names = ("a", "b")
+        bank = GaugeBank(names)
+        bank.update_all(1.0, [0.2, 0.8])
+        bank.advance_all(5.0)  # both registers mid-defer
+        snap = bank.snapshot_tuples()
+        restored = GaugeBank(names)
+        restored.restore_tuples(snap)
+        assert restored.snapshot_tuples() == snap
+        for name in names:
+            assert restored.average(name) == bank.average(name)
+        bank.update_all(7.0, [0.6, 0.1])
+        restored.update_all(7.0, [0.6, 0.1])
+        assert restored.snapshot_tuples() == bank.snapshot_tuples()
+
+    def test_bank_restore_rejects_pending_clock_behind_fold(self):
+        bank = GaugeBank(("x",))
+        bank.update_all(3.0, [0.5])
+        (name, scalars), = bank.snapshot_tuples()
+        corrupt = ((name, scalars[:5] + (scalars[1] - 1.0,)),)
+        with pytest.raises(SimulationError):
+            bank.restore_tuples(corrupt)
+
+
+class TestBatchUpdates:
+    def test_batch_matches_gated_scalar_sequence(self):
+        """``update_all_batch`` equals the per-event collector protocol:
+        unchanged rows advance the clock, changed rows fold and write."""
+        times = [1.0, 2.5, 2.5, 4.0, 7.25]
+        rows = [
+            [0.1, 0.2, 0.3],
+            [0.1, 0.2, 0.3],  # unchanged: clock-advance only
+            [0.4, 0.2, 0.3],
+            [0.4, 0.2, 0.3],  # unchanged again
+            [0.0, 0.9, 0.3],
+        ]
+        import numpy as np
+
+        batched = GaugeBank(("x", "y", "z"))
+        batched.update_all_batch(np.array(times), np.array(rows))
+        scalar = GaugeBank(("x", "y", "z"))
+        for t, row in zip(times, rows):
+            if row == scalar.values_list():
+                scalar.advance_all(t)
+            else:
+                scalar.update_all(t, row)
+        assert batched.snapshot_tuples() == scalar.snapshot_tuples()
+
+    def test_batch_times_must_not_rewind(self):
+        import numpy as np
+
+        bank = GaugeBank(("x",))
+        bank.update_all(5.0, [0.1])
+        with pytest.raises(SimulationError):
+            bank.update_all_batch(np.array([4.0]), np.array([[0.2]]))
+
+    def test_batch_keeps_python_float_clock(self):
+        """Times entering through numpy arrays must not leak numpy scalars
+        into the pending clock (they would surface in summary floats)."""
+        import numpy as np
+
+        bank = GaugeBank(("x",))
+        bank.update_all_batch(np.array([2.0, 3.0]), np.array([[0.5], [0.25]]))
+        (_, scalars), = bank.snapshot_tuples()
+        assert all(type(s) is float for s in scalars)

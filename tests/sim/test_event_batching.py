@@ -1,0 +1,215 @@
+"""Batched event application and lazy gauges: bit-identity pins.
+
+``REPRO_EVENT_BATCHING`` regroups departure bursts into fused array
+applications and ``REPRO_LAZY_GAUGES`` defers gauge integral folds into a
+pending register — both are *regroupings* of the same arithmetic, never
+approximations, so every observable (event digest, summary, end time) must
+be bit-identical with the knobs on or off.  These tests pin that over
+seeds 0-19 x all four paper schedulers x the two-tier paper preset plus
+the VL2 and fat-tree zoo fabrics, and additionally place checkpoint /
+restore / fork cuts *inside* a deferred-gauge interval and *inside* a
+departure burst — the two places where deferred state could leak across a
+snapshot boundary.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.config import PRESETS, paper_default
+from repro.errors import SimulationError
+from repro.metrics.gauges import LAZY_GAUGES_ENV
+from repro.schedulers import PAPER_SCHEDULERS
+from repro.sim import BATCHING_ENV_VAR, DDCSimulator, EventLog, event_batching_enabled
+from repro.workloads import SyntheticWorkloadParams, generate_synthetic
+
+#: Two-tier paper fabric plus the multi-tier zoo presets.
+BATCHING_PRESETS = ("paper", "vl2", "fat-tree")
+
+
+@contextmanager
+def knobs(**env):
+    """Pin REPRO_* environment knobs for one simulator construction."""
+    prior = {var: os.environ.get(var) for var in env}
+    os.environ.update(env)
+    try:
+        yield
+    finally:
+        for var, value in prior.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+
+
+def trace(count=60, seed=0):
+    return generate_synthetic(SyntheticWorkloadParams(count=count), seed=seed)
+
+
+def masked(summary):
+    d = summary.as_dict()
+    d.pop("scheduler_time_s")  # wall clock: legitimately nondeterministic
+    return d
+
+
+def run_once(spec, scheduler, vms, **env):
+    with knobs(**env):
+        log = EventLog()
+        sim = DDCSimulator(spec, scheduler, event_log=log, engine="flat")
+        result = sim.run(vms)
+    return log.digest(), masked(result.summary), result.end_time
+
+
+class TestKnobBitIdentity:
+    @pytest.mark.parametrize("preset", BATCHING_PRESETS)
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    @pytest.mark.parametrize("seed", range(20))
+    def test_batching_and_lazy_gauges_change_nothing(self, preset, scheduler, seed):
+        """Default (batched + lazy), batching off, and lazy gauges off all
+        produce the same digest, summary, and end time.
+
+        The default trace shape guarantees a departure burst (lifetimes
+        dwarf the arrival span, so the whole departure tail drains as one
+        batch) — the fused scatter-add path runs, it is not vacuous.
+        """
+        spec = PRESETS[preset]()
+        vms = trace(seed=seed)
+        batched = run_once(spec, scheduler, vms)
+        scalar = run_once(spec, scheduler, vms, **{BATCHING_ENV_VAR: "off"})
+        eager = run_once(spec, scheduler, vms, **{LAZY_GAUGES_ENV: "off"})
+        assert batched == scalar
+        assert batched == eager
+
+    def test_bad_knob_value_rejected(self):
+        with knobs(**{BATCHING_ENV_VAR: "sideways"}):
+            with pytest.raises(SimulationError):
+                event_batching_enabled()
+
+
+class TestCutsInsideDeferredState:
+    """Checkpoint / restore / fork cuts where deferred state is in flight."""
+
+    def _uncut(self, spec, scheduler, vms):
+        return run_once(spec, scheduler, vms)
+
+    def _mid_gauge_interval(self, vms):
+        """A non-event time strictly between two arrivals: the gauge bank
+        has an open pending interval (clock ahead of the last fold)."""
+        times = sorted(vm.arrival for vm in vms)
+        mid = len(times) // 2
+        return (times[mid] + times[mid + 1]) / 2.0
+
+    def _mid_departure_burst(self, vms):
+        """A time inside the departure tail: the cut splits what would
+        otherwise drain as a single batch."""
+        departures = sorted(vm.departure for vm in vms)
+        return departures[len(departures) // 2]
+
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_restore_inside_deferred_gauge_interval(self, scheduler, seed):
+        """Checkpoint between events — mid pending-gauge interval — then
+        finish, rewind, and re-finish: all three match the uncut run."""
+        spec = paper_default()
+        vms = trace(seed=seed)
+        digest, summary, end = self._uncut(spec, scheduler, vms)
+        log = EventLog()
+        sim = DDCSimulator(spec, scheduler, event_log=log, engine="flat")
+        sim.start_run(vms)
+        sim.advance(until=self._mid_gauge_interval(vms))
+        checkpoint = sim.full_checkpoint()
+        first = sim.finish()
+        assert log.digest() == digest
+        assert masked(first.summary) == summary
+        sim.restore_run(checkpoint)
+        resumed = sim.finish()
+        assert log.digest() == digest
+        assert masked(resumed.summary) == summary
+        assert resumed.end_time == end
+
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_restore_inside_departure_burst(self, scheduler, seed):
+        """Cut the departure tail in half with an advance/checkpoint: the
+        batch boundary forced by the cut must not change a bit."""
+        spec = paper_default()
+        vms = trace(seed=seed)
+        digest, summary, end = self._uncut(spec, scheduler, vms)
+        log = EventLog()
+        sim = DDCSimulator(spec, scheduler, event_log=log, engine="flat")
+        sim.start_run(vms)
+        sim.advance(until=self._mid_departure_burst(vms))
+        checkpoint = sim.full_checkpoint()
+        first = sim.finish()
+        assert log.digest() == digest
+        assert masked(first.summary) == summary
+        sim.restore_run(checkpoint)
+        resumed = sim.finish()
+        assert log.digest() == digest
+        assert masked(resumed.summary) == summary
+        assert resumed.end_time == end
+
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    def test_fork_inside_departure_burst(self, scheduler):
+        """A fork taken mid-burst and its parent both finish identically."""
+        spec = paper_default()
+        vms = trace(seed=3)
+        digest, summary, end = self._uncut(spec, scheduler, vms)
+        log = EventLog()
+        sim = DDCSimulator(spec, scheduler, event_log=log, engine="flat")
+        sim.start_run(vms)
+        sim.advance(until=self._mid_departure_burst(vms))
+        clone = sim.fork()
+        clone_result = clone.finish()
+        parent_result = sim.finish()
+        assert clone.event_log.digest() == digest
+        assert log.digest() == digest
+        assert masked(clone_result.summary) == summary
+        assert masked(parent_result.summary) == summary
+        assert clone_result.end_time == parent_result.end_time == end
+
+    @pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+    def test_fork_at_gauge_quiescent_boundary(self, scheduler):
+        """Fork exactly at an event time, where the pending gauge register
+        was just folded (quiescent: clock == last fold).  Regression for
+        ``GaugeBank.restore`` rebuilding the register state verbatim —
+        a restore that re-folded or dropped the register would shift every
+        later integral."""
+        spec = paper_default()
+        vms = trace(seed=11)
+        digest, summary, end = self._uncut(spec, scheduler, vms)
+        times = sorted(vm.arrival for vm in vms)
+        log = EventLog()
+        sim = DDCSimulator(spec, scheduler, event_log=log, engine="flat")
+        sim.start_run(vms)
+        sim.advance(until=times[len(times) // 2])  # events at the cut run
+        clone = sim.fork()
+        clone_result = clone.finish()
+        parent_result = sim.finish()
+        assert clone.event_log.digest() == digest
+        assert log.digest() == digest
+        assert masked(clone_result.summary) == summary
+        assert masked(parent_result.summary) == summary
+        assert clone_result.end_time == parent_result.end_time == end
+
+    @pytest.mark.parametrize("scheduler", ("nulb", "nalb"))
+    def test_fork_under_scalar_and_eager_knobs(self, scheduler):
+        """Cuts agree with the uncut run under the off knobs too — the
+        scalar/eager paths share the same checkpoint contract."""
+        spec = paper_default()
+        vms = trace(seed=7)
+        reference = self._uncut(spec, scheduler, vms)
+        for env in ({BATCHING_ENV_VAR: "off"}, {LAZY_GAUGES_ENV: "off"}):
+            with knobs(**env):
+                log = EventLog()
+                sim = DDCSimulator(spec, scheduler, event_log=log, engine="flat")
+                sim.start_run(vms)
+                sim.advance(until=self._mid_departure_burst(vms))
+                clone = sim.fork()
+                clone_result = clone.finish()
+                parent_result = sim.finish()
+            assert (log.digest(), masked(parent_result.summary),
+                    parent_result.end_time) == reference
+            assert (clone.event_log.digest(), masked(clone_result.summary),
+                    clone_result.end_time) == reference
